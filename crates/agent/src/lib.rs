@@ -1,0 +1,19 @@
+//! The Communix agent: client-side signature validation and signature
+//! generalization (§III-C3, §III-D).
+//!
+//! The agent runs inside the protected application's address space,
+//! together with Dimmunix. At application start it inspects the new
+//! signatures the client downloaded, validates them against the exact
+//! classes the application loaded (bytecode hashes), enforces the two
+//! DoS containment rules (outer depth ≥ 5, outer lock statements must be
+//! nested synchronized sites), and generalizes accepted signatures into
+//! the application's deadlock history.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod validate;
+
+pub use pipeline::{AgentConfig, CommunixAgent, StartupReport};
+pub use validate::{SignatureValidator, ValidationError, ValidatorConfig};

@@ -1,0 +1,198 @@
+//! Property-based tests for the agent's validation pipeline: whatever
+//! the input, validated output satisfies the §III-C invariants.
+
+use std::collections::HashMap;
+
+use communix_agent::{SignatureValidator, ValidationError, ValidatorConfig};
+use communix_analysis::NestingAnalyzer;
+use communix_bytecode::{LockExpr, LoweredProgram, Program, ProgramBuilder};
+use communix_crypto::Digest;
+use communix_dimmunix::{CallStack, Frame, SigEntry, Signature, Site};
+use proptest::prelude::*;
+
+/// The fixed test application: one nested site (`app.C.outer` line 2),
+/// one non-nested inner site, one helper class.
+fn program() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.class("app.C")
+        .plain_method("outer", |s| {
+            s.sync(LockExpr::global("A"), |s| {
+                s.sync(LockExpr::global("B"), |_| {});
+            });
+        })
+        .done();
+    b.class("app.D")
+        .plain_method("helper", |s| {
+            s.work(1);
+        })
+        .done();
+    b.build()
+}
+
+fn hashes(p: &Program) -> HashMap<String, Digest> {
+    p.hash_index()
+        .into_iter()
+        .map(|(k, v)| (k.as_str().to_string(), v))
+        .collect()
+}
+
+/// Deterministically expands `(len, seed)` into a stack mixing good,
+/// stale, and missing hashes over known and unknown classes. When
+/// `top_is_nested`, the top frame is the app's real nested site with the
+/// correct hash, so a useful fraction of generated signatures passes.
+fn mk_stack(p: &Program, len: usize, seed: u64, top_is_nested: bool) -> CallStack {
+    let h_c = p.class("app.C").unwrap().bytecode_hash();
+    let h_d = p.class("app.D").unwrap().bytecode_hash();
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    let mut frames = Vec::new();
+    for d in 0..len {
+        let is_top = d + 1 == len;
+        let roll = next() % 10;
+        let (class, hash) = if is_top && top_is_nested {
+            ("app.C", Some(h_c))
+        } else if roll < 6 {
+            ("app.D", Some(h_d))
+        } else if roll < 8 {
+            // Stale hash: right class, wrong version.
+            ("app.D", Some(communix_crypto::sha256(&seed.to_le_bytes())))
+        } else {
+            ("ghost.G", None)
+        };
+        let line = if is_top && top_is_nested {
+            2
+        } else {
+            10 + (next() % 40) as u32
+        };
+        frames.push(Frame {
+            site: Site::new(class, "outer", line),
+            hash,
+        });
+    }
+    frames.into_iter().collect()
+}
+
+proptest! {
+    /// For every input: if validation succeeds, the output's stacks are
+    /// suffixes of the input's, every outer stack is ≥ 5 deep, every
+    /// outer top is the nested site, and every surviving frame's hash
+    /// matches the application. Rejection is always legal; nondeterminism
+    /// never is.
+    #[test]
+    fn validation_invariants(
+        entries in proptest::collection::vec((1..10usize, 1..10usize, any::<u64>()), 1..4)
+    ) {
+        let p = program();
+        let lowered = LoweredProgram::lower(&p);
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        let v = SignatureValidator::new(
+            hashes(&p),
+            Some(&report),
+            ValidatorConfig::default(),
+        );
+        let h_c = p.class("app.C").unwrap().bytecode_hash();
+        let h_d = p.class("app.D").unwrap().bytecode_hash();
+
+        let sig = Signature::remote(
+            entries
+                .iter()
+                .map(|(ol, il, seed)| {
+                    SigEntry::new(
+                        mk_stack(&p, *ol, *seed, true),
+                        mk_stack(&p, *il, seed.wrapping_add(1), true),
+                    )
+                })
+                .collect(),
+        );
+
+        match v.validate(&sig) {
+            Ok(out) => {
+                prop_assert_eq!(out.arity(), sig.arity());
+                for oe in out.entries() {
+                    // Trimming only: the output entry must be a suffix of
+                    // SOME input entry (canonical ordering may permute).
+                    prop_assert!(
+                        sig.entries().iter().any(|ie| oe.outer.is_suffix_of(&ie.outer)
+                            && oe.inner.is_suffix_of(&ie.inner)),
+                        "output stacks must be suffixes of input stacks"
+                    );
+                    // Depth rule.
+                    prop_assert!(oe.outer.depth() >= 5);
+                    // Nesting rule on the outer top.
+                    let top = oe.outer.top().unwrap();
+                    prop_assert_eq!(top.site.class.as_ref(), "app.C");
+                    prop_assert_eq!(top.site.line, 2);
+                    // Every surviving frame's hash matches the app.
+                    for f in oe.outer.frames().iter().chain(oe.inner.frames()) {
+                        let expect = if f.site.class.as_ref() == "app.C" { h_c } else { h_d };
+                        prop_assert_eq!(f.hash, Some(expect));
+                    }
+                }
+            }
+            Err(ValidationError::NestingUnknown { .. }) => {
+                prop_assert!(
+                    false,
+                    "a full nesting report was supplied; unknown is impossible"
+                );
+            }
+            Err(_) => {} // rejection is always legal
+        }
+
+        // Determinism: validating twice gives the same verdict.
+        match (v.validate(&sig), v.validate(&sig)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "validation must be deterministic"),
+        }
+    }
+
+    /// The adaptive threshold never accepts a signature the fixed
+    /// threshold accepts… wait, the other way around: everything the
+    /// fixed rule accepts, the adaptive rule accepts too (its per-site
+    /// threshold is min(d, 5) ≤ 5).
+    #[test]
+    fn adaptive_accepts_superset_of_fixed(
+        entries in proptest::collection::vec((1..10usize, 1..10usize, any::<u64>()), 1..3)
+    ) {
+        use communix_analysis::{CallGraph, MinDepths};
+        let p = program();
+        let lowered = LoweredProgram::lower(&p);
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        let depths = MinDepths::compute(&lowered, &CallGraph::build(&lowered));
+
+        let fixed = SignatureValidator::new(
+            hashes(&p),
+            Some(&report),
+            ValidatorConfig::default(),
+        );
+        let adaptive = SignatureValidator::new(
+            hashes(&p),
+            Some(&report),
+            ValidatorConfig { adaptive_depth: true, ..ValidatorConfig::default() },
+        )
+        .with_min_depths(&depths);
+
+        let sig = Signature::remote(
+            entries
+                .iter()
+                .map(|(ol, il, seed)| {
+                    SigEntry::new(
+                        mk_stack(&p, *ol, *seed, true),
+                        mk_stack(&p, *il, seed.wrapping_add(1), true),
+                    )
+                })
+                .collect(),
+        );
+        if fixed.validate(&sig).is_ok() {
+            prop_assert!(
+                adaptive.validate(&sig).is_ok(),
+                "adaptive must accept whatever the fixed rule accepts"
+            );
+        }
+    }
+}

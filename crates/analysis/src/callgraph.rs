@@ -1,0 +1,346 @@
+//! Call-graph construction and the transitive "may synchronize" summary.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use communix_bytecode::{Instr, LoweredProgram, MethodRef};
+
+/// Whether a method may acquire a monitor, directly or transitively.
+///
+/// Three-valued: opaque methods (no retrievable CFG) poison the summary
+/// with [`SyncEffect::Unknown`], exactly like Soot's analysis failures in
+/// the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SyncEffect {
+    /// The method (or something it may call) definitely acquires a monitor.
+    Syncs,
+    /// No acquisition anywhere in the transitive closure.
+    DoesNotSync,
+    /// Cannot tell: an opaque or unresolvable method is reachable.
+    Unknown,
+}
+
+/// A direct + transitive call graph over a lowered program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct callees per method.
+    direct: BTreeMap<MethodRef, BTreeSet<MethodRef>>,
+    /// Transitive sync-effect summary per method.
+    effects: BTreeMap<MethodRef, SyncEffect>,
+}
+
+impl CallGraph {
+    /// Builds the call graph and sync-effect summary for `program`.
+    pub fn build(program: &LoweredProgram) -> Self {
+        let mut direct: BTreeMap<MethodRef, BTreeSet<MethodRef>> = BTreeMap::new();
+        // Per-method local facts.
+        let mut local_syncs: BTreeMap<MethodRef, bool> = BTreeMap::new();
+        let mut opaque: BTreeSet<MethodRef> = BTreeSet::new();
+
+        for m in program.methods() {
+            let mut callees = BTreeSet::new();
+            let mut syncs = false;
+            for instr in &m.code {
+                match instr {
+                    Instr::Call { target, .. } => {
+                        callees.insert(target.clone());
+                    }
+                    Instr::MonitorEnter { .. } => syncs = true,
+                    _ => {}
+                }
+            }
+            if m.opaque {
+                opaque.insert(m.mref.clone());
+            }
+            local_syncs.insert(m.mref.clone(), syncs);
+            direct.insert(m.mref.clone(), callees);
+        }
+
+        // Fixpoint: propagate Syncs and Unknown along call edges. Effects
+        // only increase in the lattice DoesNotSync < Unknown < Syncs, so
+        // iteration terminates.
+        let mut effects: BTreeMap<MethodRef, SyncEffect> = BTreeMap::new();
+        for (mref, syncs) in &local_syncs {
+            let eff = if opaque.contains(mref) {
+                // An opaque method's body is invisible; even if our model
+                // knows it syncs, the analyzer must not.
+                SyncEffect::Unknown
+            } else if *syncs {
+                SyncEffect::Syncs
+            } else {
+                SyncEffect::DoesNotSync
+            };
+            effects.insert(mref.clone(), eff);
+        }
+
+        loop {
+            let mut changed = false;
+            for (caller, callees) in &direct {
+                if opaque.contains(caller) {
+                    continue; // stays Unknown regardless of callees
+                }
+                let mut eff = effects[caller];
+                if eff == SyncEffect::Syncs {
+                    continue;
+                }
+                for callee in callees {
+                    match effects.get(callee) {
+                        Some(SyncEffect::Syncs) => {
+                            eff = SyncEffect::Syncs;
+                            break;
+                        }
+                        Some(SyncEffect::Unknown) | None => {
+                            // Unresolvable call sites are Unknown too.
+                            if eff == SyncEffect::DoesNotSync {
+                                eff = SyncEffect::Unknown;
+                            }
+                        }
+                        Some(SyncEffect::DoesNotSync) => {}
+                    }
+                }
+                if eff != effects[caller] {
+                    effects.insert(caller.clone(), eff);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        CallGraph { direct, effects }
+    }
+
+    /// Direct callees of `m` (empty if unknown method).
+    pub fn callees(&self, m: &MethodRef) -> impl Iterator<Item = &MethodRef> {
+        self.direct.get(m).into_iter().flatten()
+    }
+
+    /// The transitive sync-effect of calling `m`. Unresolvable methods are
+    /// [`SyncEffect::Unknown`].
+    pub fn sync_effect(&self, m: &MethodRef) -> SyncEffect {
+        self.effects.get(m).copied().unwrap_or(SyncEffect::Unknown)
+    }
+
+    /// All methods reachable from `m` (inclusive), following direct edges.
+    pub fn reachable_from(&self, m: &MethodRef) -> BTreeSet<MethodRef> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![m.clone()];
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if let Some(callees) = self.direct.get(&cur) {
+                for c in callees {
+                    if !seen.contains(c) {
+                        stack.push(c.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of methods in the graph.
+    pub fn len(&self) -> usize {
+        self.direct.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.direct.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_bytecode::{LockExpr, ProgramBuilder};
+
+    fn graph(build: impl FnOnce(&mut ProgramBuilder)) -> CallGraph {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        CallGraph::build(&LoweredProgram::lower(&b.build()))
+    }
+
+    #[test]
+    fn direct_sync_detected() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("syncs", |s| {
+                    s.sync(LockExpr::global("L"), |_| {});
+                })
+                .plain_method("pure", |s| {
+                    s.work(1);
+                })
+                .done();
+        });
+        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "syncs")), SyncEffect::Syncs);
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "pure")),
+            SyncEffect::DoesNotSync
+        );
+    }
+
+    #[test]
+    fn synchronized_method_counts_as_sync() {
+        let g = graph(|b| {
+            b.class("a.A").sync_method("m", |_| {}).done();
+        });
+        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "m")), SyncEffect::Syncs);
+    }
+
+    #[test]
+    fn transitive_sync_propagates() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("top", |s| {
+                    s.call("a.A", "mid");
+                })
+                .plain_method("mid", |s| {
+                    s.call("a.A", "bottom");
+                })
+                .plain_method("bottom", |s| {
+                    s.sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "top")), SyncEffect::Syncs);
+    }
+
+    #[test]
+    fn opaque_method_is_unknown_even_if_it_syncs() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .opaque_method("native0", |s| {
+                    s.sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "native0")),
+            SyncEffect::Unknown
+        );
+    }
+
+    #[test]
+    fn call_to_opaque_poisons_caller() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("caller", |s| {
+                    s.call("a.A", "native0");
+                })
+                .opaque_method("native0", |_| {})
+                .done();
+        });
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "caller")),
+            SyncEffect::Unknown
+        );
+    }
+
+    #[test]
+    fn syncs_dominates_unknown() {
+        // caller → {opaque, syncing}: a definite sync wins over Unknown.
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("caller", |s| {
+                    s.call("a.A", "native0").call("a.A", "syncs");
+                })
+                .opaque_method("native0", |_| {})
+                .plain_method("syncs", |s| {
+                    s.sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "caller")),
+            SyncEffect::Syncs
+        );
+    }
+
+    #[test]
+    fn unresolvable_callee_is_unknown() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("caller", |s| {
+                    s.call("ghost.G", "nothing");
+                })
+                .done();
+        });
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "caller")),
+            SyncEffect::Unknown
+        );
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("ghost.G", "nothing")),
+            SyncEffect::Unknown
+        );
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("f", |s| {
+                    s.call("a.A", "g");
+                })
+                .plain_method("g", |s| {
+                    s.call("a.A", "f");
+                })
+                .done();
+        });
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "f")),
+            SyncEffect::DoesNotSync
+        );
+    }
+
+    #[test]
+    fn recursive_cycle_with_sync() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("f", |s| {
+                    s.call("a.A", "g");
+                })
+                .plain_method("g", |s| {
+                    s.call("a.A", "f").sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "f")), SyncEffect::Syncs);
+        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "g")), SyncEffect::Syncs);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("f", |s| {
+                    s.call("a.A", "g");
+                })
+                .plain_method("g", |_| {})
+                .plain_method("island", |_| {})
+                .done();
+        });
+        let r = g.reachable_from(&MethodRef::new("a.A", "f"));
+        assert!(r.contains(&MethodRef::new("a.A", "g")));
+        assert!(!r.contains(&MethodRef::new("a.A", "island")));
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn callees_listed() {
+        let g = graph(|b| {
+            b.class("a.A")
+                .plain_method("f", |s| {
+                    s.call("a.A", "g").call("a.A", "h");
+                })
+                .plain_method("g", |_| {})
+                .plain_method("h", |_| {})
+                .done();
+        });
+        let callees: Vec<_> = g.callees(&MethodRef::new("a.A", "f")).collect();
+        assert_eq!(callees.len(), 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal achievable stack depths per synchronized site — the analysis
+//! behind the paper's *adaptive depth threshold* alternative (§III-C1):
+//!
+//! > "Alternatively, one could compute the minimal depth d that outer
+//! > call stacks corresponding to a nested synchronized block/method can
+//! > have; the threshold would be min(d, 5), rather than 5, in this
+//! > case."
+//!
+//! The fixed depth-≥5 rule wrongly rejects honest signatures whose outer
+//! lock statements simply *cannot* be reached five frames deep (e.g. a
+//! nested block directly inside a thread's entry method). The adaptive
+//! rule lowers the threshold to what is achievable, per site, without
+//! weakening the DoS bound anywhere a deeper stack is possible.
+//!
+//! Entry points are modelled as call-graph roots — methods no other
+//! method calls (Java: `main`, `Runnable.run`, event handlers). A site
+//! in a root method can be reached with a depth-1 stack; each
+//! unavoidable call frame below adds one.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use communix_bytecode::{LoweredProgram, MethodRef, SyncSite};
+
+use crate::callgraph::CallGraph;
+
+/// Minimal runtime stack depth per synchronized site.
+///
+/// Sites whose methods are unreachable from every entry point (they only
+/// appear inside call cycles with no external entry) are *absent* from
+/// the map; callers should fall back to the fixed threshold for them.
+#[derive(Debug, Clone, Default)]
+pub struct MinDepths {
+    per_site: BTreeMap<SyncSite, usize>,
+}
+
+impl MinDepths {
+    /// Computes minimal depths for every synchronized site of `program`.
+    pub fn compute(program: &LoweredProgram, callgraph: &CallGraph) -> Self {
+        // dist(m) = minimal number of activation frames on a stack whose
+        // innermost frame is in m: 1 for entry points (roots), 1 + min
+        // over callers otherwise. Multi-source BFS from the roots along
+        // call edges (caller → callee, each edge adds one frame).
+        let methods: Vec<MethodRef> = program.methods().map(|m| m.mref.clone()).collect();
+        let mut has_caller: BTreeMap<&MethodRef, bool> =
+            methods.iter().map(|m| (m, false)).collect();
+        for m in &methods {
+            for callee in callgraph.callees(m) {
+                if let Some(flag) = has_caller.get_mut(callee) {
+                    *flag = true;
+                }
+            }
+        }
+
+        let mut dist: BTreeMap<MethodRef, usize> = BTreeMap::new();
+        let mut queue: VecDeque<MethodRef> = VecDeque::new();
+        for m in &methods {
+            if !has_caller[m] {
+                dist.insert(m.clone(), 1);
+                queue.push_back(m.clone());
+            }
+        }
+        while let Some(m) = queue.pop_front() {
+            let d = dist[&m];
+            for callee in callgraph.callees(&m) {
+                if !dist.contains_key(callee) {
+                    dist.insert(callee.clone(), d + 1);
+                    queue.push_back(callee.clone());
+                }
+            }
+        }
+
+        // A site's minimal stack depth equals its method's minimal
+        // activation depth: the sync-site frame replaces the method's
+        // own frame at the top of the stack.
+        let mut per_site = BTreeMap::new();
+        for m in program.methods() {
+            let Some(&d) = dist.get(&m.mref) else {
+                continue;
+            };
+            for (_, site) in m.monitor_enters() {
+                per_site.insert(site.clone(), d);
+            }
+        }
+        MinDepths { per_site }
+    }
+
+    /// The minimal achievable depth at `site`, if its method is reachable
+    /// from an entry point.
+    pub fn of(&self, site: &SyncSite) -> Option<usize> {
+        self.per_site.get(site).copied()
+    }
+
+    /// The paper's adaptive threshold for `site`: `min(d, cap)`, falling
+    /// back to `cap` when the minimal depth is unknown.
+    pub fn threshold(&self, site: &SyncSite, cap: usize) -> usize {
+        self.of(site).map_or(cap, |d| d.min(cap))
+    }
+
+    /// Number of sites with a known minimal depth.
+    pub fn len(&self) -> usize {
+        self.per_site.len()
+    }
+
+    /// Whether no site has a known minimal depth.
+    pub fn is_empty(&self) -> bool {
+        self.per_site.is_empty()
+    }
+
+    /// Iterates `(site, min_depth)` pairs in site order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SyncSite, usize)> {
+        self.per_site.iter().map(|(s, d)| (s, *d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_bytecode::{LockExpr, ProgramBuilder};
+
+    fn depths(build: impl FnOnce(&mut ProgramBuilder)) -> (MinDepths, LoweredProgram) {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let lowered = LoweredProgram::lower(&b.build());
+        let cg = CallGraph::build(&lowered);
+        (MinDepths::compute(&lowered, &cg), lowered)
+    }
+
+    fn site_in(lowered: &LoweredProgram, method: &str) -> SyncSite {
+        for m in lowered.methods() {
+            if m.mref.method_name() == method {
+                if let Some((_, site)) = m.monitor_enters().into_iter().next() {
+                    return site.clone();
+                }
+            }
+        }
+        panic!("no sync site in {method}");
+    }
+
+    #[test]
+    fn site_in_entry_method_has_depth_one() {
+        let (d, lowered) = depths(|b| {
+            b.class("a.A")
+                .plain_method("entry", |s| {
+                    s.sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        assert_eq!(d.of(&site_in(&lowered, "entry")), Some(1));
+        assert_eq!(d.threshold(&site_in(&lowered, "entry"), 5), 1);
+    }
+
+    #[test]
+    fn depth_counts_unavoidable_call_frames() {
+        let (d, lowered) = depths(|b| {
+            b.class("a.A")
+                .plain_method("entry", |s| {
+                    s.call("a.A", "mid");
+                })
+                .plain_method("mid", |s| {
+                    s.call("a.A", "leaf");
+                })
+                .plain_method("leaf", |s| {
+                    s.sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        assert_eq!(d.of(&site_in(&lowered, "leaf")), Some(3));
+        assert_eq!(d.threshold(&site_in(&lowered, "leaf"), 5), 3);
+    }
+
+    #[test]
+    fn multiple_paths_take_the_shortest() {
+        let (d, lowered) = depths(|b| {
+            b.class("a.A")
+                .plain_method("deepEntry", |s| {
+                    s.call("a.A", "m1");
+                })
+                .plain_method("m1", |s| {
+                    s.call("a.A", "m2");
+                })
+                .plain_method("m2", |s| {
+                    s.call("a.A", "leaf");
+                })
+                .plain_method("shortEntry", |s| {
+                    s.call("a.A", "leaf");
+                })
+                .plain_method("leaf", |s| {
+                    s.sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        assert_eq!(d.of(&site_in(&lowered, "leaf")), Some(2), "short path wins");
+    }
+
+    #[test]
+    fn cycle_only_methods_fall_back_to_cap() {
+        // f and g call each other; nothing else calls them… but they ARE
+        // roots? No: both have callers (each other), so neither is a
+        // root, and no root reaches them → unknown → threshold = cap.
+        let (d, lowered) = depths(|b| {
+            b.class("a.A")
+                .plain_method("f", |s| {
+                    s.call("a.A", "g");
+                })
+                .plain_method("g", |s| {
+                    s.call("a.A", "f").sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        let site = site_in(&lowered, "g");
+        assert_eq!(d.of(&site), None);
+        assert_eq!(d.threshold(&site, 5), 5);
+    }
+
+    #[test]
+    fn deep_sites_keep_the_cap() {
+        let (d, lowered) = depths(|b| {
+            b.class("a.A")
+                .plain_method("e", |s| {
+                    s.call("a.A", "m1");
+                })
+                .plain_method("m1", |s| {
+                    s.call("a.A", "m2");
+                })
+                .plain_method("m2", |s| {
+                    s.call("a.A", "m3");
+                })
+                .plain_method("m3", |s| {
+                    s.call("a.A", "m4");
+                })
+                .plain_method("m4", |s| {
+                    s.call("a.A", "m5");
+                })
+                .plain_method("m5", |s| {
+                    s.call("a.A", "leaf");
+                })
+                .plain_method("leaf", |s| {
+                    s.sync(LockExpr::global("L"), |_| {});
+                })
+                .done();
+        });
+        let site = site_in(&lowered, "leaf");
+        assert_eq!(d.of(&site), Some(7));
+        assert_eq!(d.threshold(&site, 5), 5, "min(7, 5) = 5");
+    }
+
+    #[test]
+    fn sync_method_site_gets_its_method_depth() {
+        let (d, lowered) = depths(|b| {
+            b.class("a.A")
+                .plain_method("entry", |s| {
+                    s.call("a.A", "locked");
+                })
+                .sync_method("locked", |s| {
+                    s.work(1);
+                })
+                .done();
+        });
+        assert_eq!(d.of(&site_in(&lowered, "locked")), Some(2));
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 1);
+    }
+}

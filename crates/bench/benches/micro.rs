@@ -1,0 +1,255 @@
+//! Criterion micro-benchmarks for the hot paths behind every figure:
+//! signature matching (Figure 2/Table II cost driver), suffix merging
+//! (§III-D), hash validation (§III-C3), the crypto primitives, the wire
+//! codec, the server request path, and the nesting analysis.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use communix_agent::{SignatureValidator, ValidatorConfig};
+use communix_analysis::NestingAnalyzer;
+use communix_bytecode::LoweredProgram;
+use communix_clock::{SystemClock, VirtualClock};
+use communix_crypto::{sha256, Aes128};
+use communix_dimmunix::{
+    AvoidanceMatcher, CallStack, DimmunixConfig, Frame, History, LockId, LockRecord,
+    Signature, ThreadId,
+};
+use communix_net::{Reply, Request};
+use communix_runtime::{SimConfig, Simulator};
+use communix_server::{CommunixServer, ServerConfig};
+use communix_workloads::{
+    AttackDepth, AttackerFactory, DriverApp, DriverProfile, SigGen, JBOSS,
+};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let kb = vec![0xABu8; 1024];
+    let kb64 = vec![0xCDu8; 64 * 1024];
+    g.throughput(criterion::Throughput::Bytes(1024));
+    g.bench_function("sha256/1KiB", |b| b.iter(|| sha256(black_box(&kb))));
+    g.throughput(criterion::Throughput::Bytes(64 * 1024));
+    g.bench_function("sha256/64KiB", |b| b.iter(|| sha256(black_box(&kb64))));
+    let aes = Aes128::new(&[7u8; 16]);
+    let block = [0x42u8; 16];
+    g.throughput(criterion::Throughput::Bytes(16));
+    g.bench_function("aes128/encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)))
+    });
+    g.finish();
+}
+
+fn bench_signature_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signature");
+    let sig = SigGen::new(1).random_signature();
+    let text = sig.to_string();
+    g.bench_function("to_text", |b| b.iter(|| black_box(&sig).to_string()));
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(&text).parse::<Signature>().expect("valid"))
+    });
+    let a = SigGen::new(2).random_signature();
+    let bsig = a.clone();
+    g.bench_function("merge_same_bug", |b| {
+        b.iter(|| black_box(&a).merge(black_box(&bsig), 0))
+    });
+    g.finish();
+}
+
+/// A runtime stack `depth` deep ending at the signature's outer site.
+fn stack_at(site_line: u32, depth: usize) -> CallStack {
+    (0..depth)
+        .map(|d| {
+            if d + 1 == depth {
+                Frame::new("app.C", "sect", site_line)
+            } else {
+                Frame::new("app.C", format!("caller{d}"), 100 + d as u32)
+            }
+        })
+        .collect()
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("avoidance_matcher");
+    for &hist_size in &[1usize, 20, 100] {
+        // History of two-entry signatures whose outer tops are distinct
+        // sites, except the last one which matches the probed stack.
+        let mut history = History::new();
+        for i in 0..hist_size {
+            let line = if i + 1 == hist_size { 10 } else { 1000 + i as u32 };
+            let outer1 = stack_at(line, 5);
+            let outer2 = stack_at(line + 1, 5);
+            let inner: CallStack = vec![Frame::new("app.C", "sect", 99)].into_iter().collect();
+            history.add(Signature::local(vec![
+                communix_dimmunix::SigEntry::new(outer1, inner.clone()),
+                communix_dimmunix::SigEntry::new(outer2, inner.clone()),
+            ]));
+        }
+        let mut matcher = AvoidanceMatcher::new(&history);
+        let candidate = LockRecord {
+            thread: ThreadId(1),
+            lock: LockId(1),
+            stack: stack_at(10, 12),
+        };
+        let records = vec![LockRecord {
+            thread: ThreadId(2),
+            lock: LockId(2),
+            stack: stack_at(11, 12),
+        }];
+        g.bench_with_input(
+            BenchmarkId::new("would_instantiate", hist_size),
+            &hist_size,
+            |b, _| b.iter(|| matcher.would_instantiate(black_box(&candidate), black_box(&records))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_validator(c: &mut Criterion) {
+    let profile = JBOSS.scaled(0.05);
+    let program = profile.generate();
+    let lowered = LoweredProgram::lower(&program);
+    let report = NestingAnalyzer::new(&lowered).analyze();
+    let hashes: Vec<(String, communix_crypto::Digest)> = program
+        .hash_index()
+        .into_iter()
+        .map(|(k, v)| (k.as_str().to_string(), v))
+        .collect();
+    let validator = SignatureValidator::new(hashes, Some(&report), ValidatorConfig::default());
+    let sig = SigGen::new(3).valid_remote_sigs(&program, &report, 1)[0].clone();
+    c.bench_function("agent/validate_one", |b| {
+        b.iter(|| validator.validate(black_box(&sig)).expect("valid"))
+    });
+
+    let mut history = History::new();
+    let sigs = SigGen::new(4).valid_remote_sigs(&program, &report, 64);
+    c.bench_function("history/add_generalizing_64", |b| {
+        b.iter(|| {
+            history.clear();
+            for s in &sigs {
+                let _ = history.add_generalizing(s.clone(), 5);
+            }
+            black_box(history.len())
+        })
+    });
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server");
+    // Bound the iteration count: every ADD grows the database, so an
+    // unbounded run would distort later samples (and memory).
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let server = CommunixServer::new(ServerConfig::default(), Arc::new(VirtualClock::new()));
+    let mut gen = SigGen::new(5);
+    for i in 0..1_000u64 {
+        let id = server.authority().issue(i);
+        server.handle(Request::Add {
+            sender: id,
+            sig_text: gen.random_signature().to_string(),
+        });
+    }
+    let next_user = std::cell::Cell::new(1_000u64);
+    g.bench_function("add_with_1k_db", |b| {
+        b.iter_batched(
+            || {
+                // Per-iteration setup (untimed): a fresh signature from a
+                // fresh user, so the ADD path runs its full validation.
+                let user = next_user.get();
+                next_user.set(user + 1);
+                let mut gen = SigGen::new(0xADD ^ user);
+                (server.authority().issue(user), gen.random_signature().to_string())
+            },
+            |(id, text)| {
+                server.handle(Request::Add {
+                    sender: id,
+                    sig_text: text,
+                })
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("get_scan_1k_db", |b| {
+        b.iter(|| black_box(server.handle_get_scan(0)))
+    });
+    let reply = Reply::Sigs {
+        from: 0,
+        sigs: (0..100).map(|_| gen.random_signature().to_string()).collect(),
+    };
+    g.bench_function("codec/encode_sigs_reply_100", |b| {
+        b.iter(|| black_box(&reply).encode())
+    });
+    let encoded = reply.encode();
+    g.bench_function("codec/decode_sigs_reply_100", |b| {
+        b.iter(|| Reply::decode(black_box(encoded.clone())).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let profile = JBOSS.scaled(0.05);
+    let program = profile.generate();
+    let lowered = LoweredProgram::lower(&program);
+    c.bench_function("analysis/nesting_jboss_5pct", |b| {
+        b.iter(|| NestingAnalyzer::new(black_box(&lowered)).analyze())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let profile = DriverProfile {
+        app: "Bench",
+        benchmark: "micro",
+        workers: 4,
+        iterations: 5,
+        sections: 3,
+        cold_sections: 1,
+        section_work: 2,
+        inner_work: 1,
+        outside_work: 3,
+        paper_overhead_pct: 1,
+    };
+    let app = DriverApp::build(&profile);
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("driver_vanilla", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                app.lowered(),
+                DimmunixConfig::vanilla(),
+                SimConfig::default(),
+            );
+            black_box(sim.run(&app.specs()))
+        })
+    });
+    let hot = app.hot_sections();
+    let attack = AttackerFactory::new()
+        .critical_path_attack(&hot, 6, AttackDepth::Five)
+        .as_history();
+    g.bench_function("driver_under_attack", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_history(
+                app.lowered(),
+                DimmunixConfig::default(),
+                SimConfig::default(),
+                attack.clone(),
+            );
+            black_box(sim.run(&app.specs()))
+        })
+    });
+    g.finish();
+    // Keep types used.
+    let _ = (HashMap::<u8, u8>::new(), SystemClock::new());
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_signature_codec,
+    bench_matcher,
+    bench_validator,
+    bench_server,
+    bench_analysis,
+    bench_simulator
+);
+criterion_main!(benches);

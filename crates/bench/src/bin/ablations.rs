@@ -1,0 +1,197 @@
+//! Ablations for the design choices behind Communix's rules — the
+//! "why 5?", "why merge?", "why adaptive?" questions the paper answers
+//! in prose, answered here with measurements.
+//!
+//! 1. **Signature depth sweep** — Table II fixes depth 5 and depth 1;
+//!    this sweep fills in the curve between them, showing the knee the
+//!    depth-≥5 rule sits on.
+//! 2. **Generalization on/off** — how many manifestations a node must
+//!    collect before a multi-path bug is fully covered, with and without
+//!    §III-D merging.
+//! 3. **Adaptive vs. fixed depth threshold** — the §III-C1 `min(d,5)`
+//!    alternative: what the fixed rule wrongly rejects and what the
+//!    adaptive rule admits, without weakening the DoS bound on deep
+//!    sites.
+//!
+//! Run: `cargo run -p communix-bench --release --bin ablations`
+
+use communix_bench::{banner, fmt_pct, row};
+use communix_dimmunix::{History, SigEntry, Signature};
+use communix_runtime::{SimConfig, Simulator};
+use communix_workloads::{
+    DriverApp, ManifestationApp, RUBIS_JBOSS,
+};
+
+fn depth_sweep() {
+    banner(
+        "Ablation 1 — DoS overhead vs. attack-signature outer depth",
+        "Table II fixes the endpoints: depth 5 ⇒ 8-40%, depth 1 ⇒ >100% for some apps",
+    );
+    let app = DriverApp::build(&RUBIS_JBOSS);
+    let hot = app.hot_sections();
+
+    row(&["outer depth", "overhead", "suspensions"]);
+    for depth in [1usize, 2, 3, 4, 5] {
+        // Pair signatures, outer stacks truncated to `depth` frames of
+        // the service-path suffix.
+        let mut sigs = Vec::new();
+        for k in 0..20 {
+            let a = hot[k % hot.len()];
+            let b = hot[(k + 1) % hot.len()];
+            let stack = |s: &communix_workloads::Section| {
+                let mut st = s.critical_stack.clone();
+                st.truncate_to_suffix(depth);
+                st
+            };
+            sigs.push(Signature::remote(vec![
+                SigEntry::new(stack(a), a.inner_stack.clone()),
+                SigEntry::new(stack(b), b.inner_stack.clone()),
+            ]));
+        }
+        let history: History = sigs.into_iter().collect();
+        let outcome = app.run(history.clone(), true);
+        let overhead = app.overhead_vs_vanilla(history);
+        row(&[
+            &format!("{depth}"),
+            &fmt_pct(overhead),
+            &format!("{}", outcome.stats.suspensions),
+        ]);
+    }
+    println!(
+        "\nshallower stacks match more execution flows: the overhead curve is why\n\
+         the agent pins incoming signatures at depth ≥ 5 (and why merging is not\n\
+         allowed to erode below it).\n"
+    );
+}
+
+fn generalization_ablation() {
+    banner(
+        "Ablation 2 — §III-D generalization on/off",
+        "merging manifestations should cover unseen paths; without it, every path must be collected",
+    );
+    let paths = 6;
+    let app = ManifestationApp::new(paths, 3);
+
+    // Harvest all manifestations once (detection only).
+    let mut harvester = Simulator::new(
+        app.lowered(),
+        communix_dimmunix::DimmunixConfig::detection_only(),
+        SimConfig::default(),
+    );
+    let manifestations: Vec<Signature> = (0..paths)
+        .map(|k| {
+            let o = harvester.run(&app.deadlock_specs(k));
+            o.deadlocks[0].clone().with_origin(communix_dimmunix::SigOrigin::Remote)
+        })
+        .collect();
+
+    let covered_paths = |history: &History| -> usize {
+        (0..paths)
+            .filter(|&k| {
+                let mut sim = Simulator::with_history(
+                    app.lowered(),
+                    communix_dimmunix::DimmunixConfig::default(),
+                    SimConfig::default(),
+                    history.clone(),
+                );
+                sim.run(&app.deadlock_specs(k)).deadlocks.is_empty()
+            })
+            .count()
+    };
+
+    row(&["sigs collected", "covered (merged)", "covered (unmerged)"]);
+    for k in 1..=paths {
+        let mut merged = History::new();
+        let mut unmerged = History::new();
+        for sig in &manifestations[..k] {
+            merged.add_generalizing(sig.clone(), 5);
+            unmerged.add(sig.clone());
+        }
+        row(&[
+            &format!("{k} of {paths}"),
+            &format!("{}/{paths}", covered_paths(&merged)),
+            &format!("{}/{paths}", covered_paths(&unmerged)),
+        ]);
+    }
+    println!(
+        "\nwith merging, the second manifestation already generalizes to the shared\n\
+         suffix and covers every path; without it, protection grows one path at a\n\
+         time — the t·Nd coupon-collection Communix exists to avoid.\n"
+    );
+}
+
+fn adaptive_threshold_ablation() {
+    banner(
+        "Ablation 3 — fixed depth-5 vs. adaptive min(d,5) threshold (§III-C1)",
+        "the paper proposes the adaptive rule as an alternative; it removes false rejections at shallow sites",
+    );
+    use communix_agent::{SignatureValidator, ValidatorConfig};
+    use communix_analysis::{CallGraph, MinDepths, NestingAnalyzer};
+    use communix_bytecode::{LockExpr, LoweredProgram, ProgramBuilder};
+    use communix_dimmunix::{CallStack, Frame};
+
+    // An app whose nested site lives directly in an entry method: honest
+    // signatures for it can never be 5 deep.
+    let mut b = ProgramBuilder::new();
+    b.class("app.Shallow")
+        .plain_method("entry", |s| {
+            s.sync(LockExpr::global("A"), |s| {
+                s.sync(LockExpr::global("B"), |_| {});
+            });
+        })
+        .done();
+    let p = b.build();
+    let lowered = LoweredProgram::lower(&p);
+    let report = NestingAnalyzer::new(&lowered).analyze();
+    let depths = MinDepths::compute(&lowered, &CallGraph::build(&lowered));
+    let hashes: Vec<(String, communix_crypto::Digest)> = p
+        .hash_index()
+        .into_iter()
+        .map(|(k, v)| (k.as_str().to_string(), v))
+        .collect();
+
+    let site = report.nested()[0];
+    let h = p.class(site.class.as_str()).unwrap().bytecode_hash();
+    let mk = |line: u32| Frame::with_hash(site.class.as_str(), "entry", line, h);
+    let outer: CallStack = vec![mk(site.line)].into_iter().collect();
+    let inner: CallStack = vec![mk(site.line + 1)].into_iter().collect();
+    let honest = Signature::remote(vec![
+        SigEntry::new(outer.clone(), inner.clone()),
+        SigEntry::new(outer, inner),
+    ]);
+
+    let fixed = SignatureValidator::new(hashes.clone(), Some(&report), ValidatorConfig::default());
+    let adaptive = SignatureValidator::new(
+        hashes,
+        Some(&report),
+        ValidatorConfig {
+            adaptive_depth: true,
+            ..ValidatorConfig::default()
+        },
+    )
+    .with_min_depths(&depths);
+
+    row(&["rule", "honest depth-1 sig", "threshold at site"]);
+    row(&[
+        "fixed (paper default)",
+        if fixed.validate(&honest).is_ok() { "accepted" } else { "REJECTED" },
+        "5",
+    ]);
+    row(&[
+        "adaptive min(d,5)",
+        if adaptive.validate(&honest).is_ok() { "accepted" } else { "REJECTED" },
+        &format!("{}", depths.threshold(site, 5)),
+    ]);
+    println!(
+        "\nthe fixed rule leaves entry-level deadlocks permanently unprotectable by\n\
+         remote signatures (a false-negative class); the adaptive rule admits them\n\
+         while keeping min(d,5) = 5 wherever deeper stacks exist, so the Table II\n\
+         DoS bound is unchanged for every deep site.\n"
+    );
+}
+
+fn main() {
+    depth_sweep();
+    generalization_ablation();
+    adaptive_threshold_ablation();
+}

@@ -1,0 +1,141 @@
+//! Figure 4 — the performance of the client-side computations
+//! (signature validation + generalization at application start-up).
+//!
+//! "For each application, we measure the time it takes to start and
+//! immediately shut down. [...] For up to 1,000 new signatures in the
+//! local repository, the Communix agent incurs a startup delay of up to
+//! 2-3 seconds, i.e., 11-16% startup slowdown." Four configurations per
+//! application (JBoss, Vuze, Limewire): vanilla, Dimmunix, Communix
+//! agent with N new signatures, and the agent with no new signatures.
+//!
+//! Reproduction: applications are profile-generated to Table I's
+//! statistics; "start-up" is modelled as the work the JVM and Dimmunix
+//! actually repeat each start (class loading → lowering + bytecode
+//! hashing; history load → parse + matcher build), and the agent's added
+//! cost is measured directly by running its real pipeline over N
+//! application-valid signatures. The nesting analysis is precomputed, as
+//! in the paper (it runs at first shutdown, not in the measured window).
+//!
+//! Run: `cargo run -p communix-bench --release --bin fig4 [--scale 1.0]`
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use communix_agent::{AgentConfig, CommunixAgent};
+use communix_bench::{arg_value, banner, fmt_dur, fmt_pct, row};
+use communix_bytecode::LoweredProgram;
+use communix_client::LocalRepository;
+use communix_crypto::Digest;
+use communix_dimmunix::History;
+use communix_workloads::{SigGen, ALL_PROFILES};
+
+fn main() {
+    banner(
+        "Figure 4 — agent start-up cost (validation + generalization)",
+        "≤ 2-3 s extra (11-16% slowdown) at 1,000 new signatures; flat without new sigs",
+    );
+    let scale: f64 = arg_value("--scale")
+        .map(|s| s.parse().expect("--scale takes a float"))
+        .unwrap_or(1.0);
+    println!("profile scale: {scale} (1.0 = full Table I statistics)\n");
+
+    let sig_counts = [10usize, 100, 1_000, 10_000];
+
+    for profile in ALL_PROFILES {
+        let profile = profile.scaled(scale);
+        let program = profile.generate();
+
+        // Vanilla start-up: what every start repeats — class loading
+        // (lowering) and bytecode hashing.
+        let t0 = Instant::now();
+        let lowered = LoweredProgram::lower(&program);
+        let hash_index = program.hash_index();
+        let vanilla = t0.elapsed();
+
+        let hashes: HashMap<String, Digest> = hash_index
+            .into_iter()
+            .map(|(k, v)| (k.as_str().to_string(), v))
+            .collect();
+
+        // Precompute the nesting analysis (paper: at first shutdown).
+        let mut agent = CommunixAgent::new(AgentConfig::default());
+        let analysis_time = agent.run_nesting_analysis(&lowered);
+
+        let mut gen = SigGen::new(0xF16_4);
+        let report = agent.nesting().expect("analysis ran");
+        let texts = gen.valid_remote_sig_texts(
+            &program,
+            report,
+            *sig_counts.last().expect("non-empty"),
+        );
+
+        // Dimmunix start-up: vanilla + loading a learned history (use
+        // the history the largest batch generalizes into).
+        let settled_history = {
+            let mut repo = LocalRepository::in_memory();
+            repo.append(texts.iter().cloned()).expect("in-memory");
+            let mut h = History::new();
+            agent.startup(&hashes, &mut repo, &mut h);
+            h
+        };
+        let history_text = settled_history.to_text();
+        let t0 = Instant::now();
+        let reparsed = History::from_text(&history_text).expect("own text");
+        let dimmunix = vanilla + t0.elapsed();
+        assert_eq!(reparsed.len(), settled_history.len());
+
+        println!(
+            "{} ({} LOC, {} sync sites, {} nested; nesting analysis {} — precomputed)",
+            profile.name,
+            profile.loc,
+            profile.sync_sites,
+            profile.nested,
+            fmt_dur(analysis_time),
+        );
+        row(&[
+            "new sigs in repo",
+            "vanilla",
+            "dimmunix",
+            "agent",
+            "agent(no new)",
+            "slowdown",
+        ]);
+        for &n in &sig_counts {
+            let mut repo = LocalRepository::in_memory();
+            repo.append(texts[..n].to_vec()).expect("in-memory");
+            let mut history = History::new();
+            let rep = agent.startup(&hashes, &mut repo, &mut history);
+            assert_eq!(rep.inspected, n);
+            assert_eq!(rep.rejected, 0, "all generated signatures validate");
+            let agent_total = vanilla + rep.elapsed;
+
+            // No-new-signatures start: everything already inspected.
+            let rep2 = agent.startup(&hashes, &mut repo, &mut history);
+            assert_eq!(rep2.inspected, 0);
+            let agent_idle = vanilla + rep2.elapsed;
+
+            row(&[
+                &format!("{n}"),
+                &fmt_dur(vanilla),
+                &fmt_dur(dimmunix),
+                &fmt_dur(agent_total),
+                &fmt_dur(agent_idle),
+                &fmt_pct((agent_total.as_secs_f64() - vanilla.as_secs_f64())
+                    / vanilla.as_secs_f64()),
+            ]);
+        }
+
+        // §IV-A in-text check: 1,000 signatures in 2-3 seconds (ours
+        // should be far faster; flag if it is ever slower).
+        let mut repo = LocalRepository::in_memory();
+        repo.append(texts[..1_000].to_vec()).expect("in-memory");
+        let mut history = History::new();
+        let rep = agent.startup(&hashes, &mut repo, &mut history);
+        println!(
+            "  -> 1,000 new signatures validated + generalized in {} (paper: 2-3 s), {} history entries\n",
+            fmt_dur(rep.elapsed),
+            history.len(),
+        );
+        let _ = Duration::ZERO;
+    }
+}

@@ -1,0 +1,198 @@
+//! The structured, source-level statement AST.
+//!
+//! Programs are authored (by hand or by the workload generators) as
+//! structured statements, then lowered to linear bytecode by
+//! [`crate::lower`]. Keeping a structured level mirrors Java: the paper's
+//! observation that "the Java compiler nests these constructs in a
+//! disciplined way" (§III-C1) is a property of exactly this
+//! structured-to-linear lowering.
+
+use crate::names::{LockExpr, MethodRef};
+
+/// A structured statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `synchronized (lock) { body }`.
+    ///
+    /// `line` is the source line of the `synchronized` keyword; it becomes
+    /// the [`crate::SyncSite`] identity for this block.
+    Sync {
+        /// The lock being acquired.
+        lock: LockExpr,
+        /// Source line of the `synchronized` keyword.
+        line: u32,
+        /// Block body.
+        body: Vec<Stmt>,
+    },
+    /// A call to another method in the program.
+    Call {
+        /// Callee.
+        target: MethodRef,
+        /// Source line of the call.
+        line: u32,
+    },
+    /// CPU work of the given number of virtual ticks (the simulator's cost
+    /// unit; the real-thread runtime spins proportionally).
+    Work {
+        /// Cost in virtual ticks.
+        ticks: u32,
+        /// Source line.
+        line: u32,
+    },
+    /// A two-way branch. The runtime chooses an arm via its decision
+    /// source; the static analysis explores both.
+    If {
+        /// Taken when the runtime decision is true.
+        then_branch: Vec<Stmt>,
+        /// Taken otherwise. May be empty.
+        else_branch: Vec<Stmt>,
+        /// Source line of the condition.
+        line: u32,
+    },
+    /// A counted loop, `for (i = 0; i < times; i++) { body }`.
+    Repeat {
+        /// Iteration count.
+        times: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line of the loop header.
+        line: u32,
+    },
+    /// An explicit `ReentrantLock.lock()` call (§III-C1: Communix does
+    /// *not* handle these; they exist so Table I can count them and so
+    /// tests can verify they are excluded from nesting analysis).
+    ExplicitLock {
+        /// Name of the explicit lock object.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// An explicit `ReentrantLock.unlock()` call.
+    ExplicitUnlock {
+        /// Name of the explicit lock object.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Stmt {
+    /// The source line this statement starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Sync { line, .. }
+            | Stmt::Call { line, .. }
+            | Stmt::Work { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::Repeat { line, .. }
+            | Stmt::ExplicitLock { line, .. }
+            | Stmt::ExplicitUnlock { line, .. } => *line,
+        }
+    }
+
+    /// Counts `Sync` statements in this statement and its children.
+    pub fn count_sync_blocks(&self) -> usize {
+        let own = usize::from(matches!(self, Stmt::Sync { .. }));
+        own + self.children().iter().map(|s| s.count_sync_blocks()).sum::<usize>()
+    }
+
+    /// Counts explicit lock/unlock operations in this subtree.
+    pub fn count_explicit_ops(&self) -> usize {
+        let own = usize::from(matches!(
+            self,
+            Stmt::ExplicitLock { .. } | Stmt::ExplicitUnlock { .. }
+        ));
+        own + self.children().iter().map(|s| s.count_explicit_ops()).sum::<usize>()
+    }
+
+    /// All nested child statements, in source order.
+    pub fn children(&self) -> Vec<&Stmt> {
+        match self {
+            Stmt::Sync { body, .. } | Stmt::Repeat { body, .. } => body.iter().collect(),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.iter().chain(else_branch.iter()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Visits this statement and all descendants depth-first.
+    pub fn visit(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Sync { body, .. } | Stmt::Repeat { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch.iter().chain(else_branch.iter()) {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Stmt {
+        Stmt::Sync {
+            lock: LockExpr::global("A"),
+            line: 1,
+            body: vec![
+                Stmt::Work { ticks: 5, line: 2 },
+                Stmt::If {
+                    line: 3,
+                    then_branch: vec![Stmt::Sync {
+                        lock: LockExpr::global("B"),
+                        line: 4,
+                        body: vec![],
+                    }],
+                    else_branch: vec![Stmt::ExplicitLock {
+                        name: "rl".into(),
+                        line: 5,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_sync_blocks_recursively() {
+        assert_eq!(sample().count_sync_blocks(), 2);
+    }
+
+    #[test]
+    fn counts_explicit_ops() {
+        assert_eq!(sample().count_explicit_ops(), 1);
+    }
+
+    #[test]
+    fn lines_are_preserved() {
+        assert_eq!(sample().line(), 1);
+    }
+
+    #[test]
+    fn visit_reaches_all_nodes() {
+        let mut n = 0;
+        sample().visit(&mut |_| n += 1);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn children_of_leaf_is_empty() {
+        let w = Stmt::Work { ticks: 1, line: 9 };
+        assert!(w.children().is_empty());
+        assert_eq!(w.count_sync_blocks(), 0);
+    }
+}

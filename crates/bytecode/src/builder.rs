@@ -1,0 +1,397 @@
+//! Fluent builders for constructing programs in tests and workload
+//! generators.
+//!
+//! Line numbers are assigned automatically (monotonically per class) so
+//! that every `synchronized` construct gets a distinct, stable
+//! [`crate::SyncSite`] without the author having to book-keep lines.
+
+use crate::ast::Stmt;
+use crate::class::{ClassFile, Method, Program};
+use crate::names::{LockExpr, MethodRef};
+
+/// Builds a [`Program`] class by class.
+///
+/// # Example
+///
+/// ```
+/// use communix_bytecode::{ProgramBuilder, LockExpr};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.class("app.Worker")
+///     .sync_method("handle", |s| {
+///         s.work(3);
+///     })
+///     .done();
+/// let p = b.build();
+/// assert_eq!(p.class("app.Worker").unwrap().sync_block_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    classes: Vec<ClassFile>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Starts a class; finish it with [`ClassBuilder::done`].
+    pub fn class(&mut self, name: &str) -> ClassBuilder<'_> {
+        ClassBuilder {
+            program: self,
+            class: ClassFile::new(name, Vec::new()),
+            next_line: 1,
+        }
+    }
+
+    /// Finalizes the program.
+    pub fn build(self) -> Program {
+        self.classes.into_iter().collect()
+    }
+}
+
+/// Builds one class.
+#[derive(Debug)]
+pub struct ClassBuilder<'p> {
+    program: &'p mut ProgramBuilder,
+    class: ClassFile,
+    next_line: u32,
+}
+
+impl<'p> ClassBuilder<'p> {
+    fn take_line(&mut self) -> u32 {
+        let l = self.next_line;
+        self.next_line += 1;
+        l
+    }
+
+    /// Starts a plain method; finish it with [`MethodBuilder::done`].
+    pub fn method(self, name: &str) -> MethodBuilder<'p> {
+        let mut this = self;
+        let decl_line = this.take_line();
+        MethodBuilder {
+            class: this,
+            method: Method::new(name, decl_line, Vec::new()),
+        }
+    }
+
+    /// Adds a `synchronized` method whose body is filled by `f`.
+    pub fn sync_method(self, name: &str, f: impl FnOnce(&mut StmtSink<'_>)) -> Self {
+        let mut mb = self.method(name);
+        mb.method.synchronized = true;
+        mb.fill(f);
+        mb.done()
+    }
+
+    /// Adds a plain method whose body is filled by `f`.
+    pub fn plain_method(self, name: &str, f: impl FnOnce(&mut StmtSink<'_>)) -> Self {
+        let mut mb = self.method(name);
+        mb.fill(f);
+        mb.done()
+    }
+
+    /// Adds an *opaque* method (no retrievable CFG) whose body is filled
+    /// by `f`. Models Soot analysis failures.
+    pub fn opaque_method(self, name: &str, f: impl FnOnce(&mut StmtSink<'_>)) -> Self {
+        let mut mb = self.method(name);
+        mb.method.opaque = true;
+        mb.fill(f);
+        mb.done()
+    }
+
+    /// Finishes the class and returns to the program builder.
+    pub fn done(self) -> &'p mut ProgramBuilder {
+        self.program.classes.push(self.class);
+        self.program
+    }
+}
+
+/// Builds one method.
+#[derive(Debug)]
+pub struct MethodBuilder<'p> {
+    class: ClassBuilder<'p>,
+    method: Method,
+}
+
+impl<'p> MethodBuilder<'p> {
+    /// Marks the method `synchronized`.
+    pub fn synchronized(mut self) -> Self {
+        self.method.synchronized = true;
+        self
+    }
+
+    /// Marks the method opaque to static analysis.
+    pub fn opaque(mut self) -> Self {
+        self.method.opaque = true;
+        self
+    }
+
+    fn fill(&mut self, f: impl FnOnce(&mut StmtSink<'_>)) {
+        let mut body = std::mem::take(&mut self.method.body);
+        {
+            let mut sink = StmtSink {
+                stmts: &mut body,
+                next_line: &mut self.class.next_line,
+            };
+            f(&mut sink);
+        }
+        self.method.body = body;
+    }
+
+    /// Appends a `synchronized (lock) { ... }` block.
+    pub fn sync(mut self, lock: LockExpr, f: impl FnOnce(&mut StmtSink<'_>)) -> Self {
+        self.fill(|s| {
+            s.sync(lock, f);
+        });
+        self
+    }
+
+    /// Appends `work(ticks)`.
+    pub fn work(mut self, ticks: u32) -> Self {
+        self.fill(|s| {
+            s.work(ticks);
+        });
+        self
+    }
+
+    /// Appends a call to `class.method`.
+    pub fn call(mut self, class: &str, method: &str) -> Self {
+        self.fill(|s| {
+            s.call(class, method);
+        });
+        self
+    }
+
+    /// Finishes the method and returns to the class builder.
+    pub fn done(mut self) -> ClassBuilder<'p> {
+        self.class.class.methods.push(self.method);
+        self.class
+    }
+}
+
+/// Receives statements for a method body or nested block, assigning line
+/// numbers from the owning class's counter.
+#[derive(Debug)]
+pub struct StmtSink<'a> {
+    stmts: &'a mut Vec<Stmt>,
+    next_line: &'a mut u32,
+}
+
+impl StmtSink<'_> {
+    fn take_line(&mut self) -> u32 {
+        let l = *self.next_line;
+        *self.next_line += 1;
+        l
+    }
+
+    /// Appends a `synchronized` block; `f` fills its body.
+    pub fn sync(&mut self, lock: LockExpr, f: impl FnOnce(&mut StmtSink<'_>)) -> &mut Self {
+        let line = self.take_line();
+        let mut body = Vec::new();
+        {
+            let mut inner = StmtSink {
+                stmts: &mut body,
+                next_line: self.next_line,
+            };
+            f(&mut inner);
+        }
+        self.stmts.push(Stmt::Sync { lock, line, body });
+        self
+    }
+
+    /// Appends CPU work.
+    pub fn work(&mut self, ticks: u32) -> &mut Self {
+        let line = self.take_line();
+        self.stmts.push(Stmt::Work { ticks, line });
+        self
+    }
+
+    /// Appends a method call.
+    pub fn call(&mut self, class: &str, method: &str) -> &mut Self {
+        let line = self.take_line();
+        self.stmts.push(Stmt::Call {
+            target: MethodRef::new(class, method),
+            line,
+        });
+        self
+    }
+
+    /// Appends an `if`; `then_f` and `else_f` fill the arms.
+    pub fn branch(
+        &mut self,
+        then_f: impl FnOnce(&mut StmtSink<'_>),
+        else_f: impl FnOnce(&mut StmtSink<'_>),
+    ) -> &mut Self {
+        let line = self.take_line();
+        let mut then_branch = Vec::new();
+        {
+            let mut s = StmtSink {
+                stmts: &mut then_branch,
+                next_line: self.next_line,
+            };
+            then_f(&mut s);
+        }
+        let mut else_branch = Vec::new();
+        {
+            let mut s = StmtSink {
+                stmts: &mut else_branch,
+                next_line: self.next_line,
+            };
+            else_f(&mut s);
+        }
+        self.stmts.push(Stmt::If {
+            then_branch,
+            else_branch,
+            line,
+        });
+        self
+    }
+
+    /// Appends a counted loop; `f` fills the body.
+    pub fn repeat(&mut self, times: u32, f: impl FnOnce(&mut StmtSink<'_>)) -> &mut Self {
+        let line = self.take_line();
+        let mut body = Vec::new();
+        {
+            let mut s = StmtSink {
+                stmts: &mut body,
+                next_line: self.next_line,
+            };
+            f(&mut s);
+        }
+        self.stmts.push(Stmt::Repeat { times, body, line });
+        self
+    }
+
+    /// Appends an explicit `ReentrantLock.lock()` call site.
+    pub fn explicit_lock(&mut self, name: &str) -> &mut Self {
+        let line = self.take_line();
+        self.stmts.push(Stmt::ExplicitLock {
+            name: name.into(),
+            line,
+        });
+        self
+    }
+
+    /// Appends an explicit `ReentrantLock.unlock()` call site.
+    pub fn explicit_unlock(&mut self, name: &str) -> &mut Self {
+        let line = self.take_line();
+        self.stmts.push(Stmt::ExplicitUnlock {
+            name: name.into(),
+            line,
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::SyncSite;
+
+    #[test]
+    fn builds_nested_structure_with_unique_lines() {
+        let mut b = ProgramBuilder::new();
+        b.class("app.Main")
+            .method("run")
+            .sync(LockExpr::global("A"), |s| {
+                s.work(1).sync(LockExpr::global("B"), |s| {
+                    s.work(2);
+                });
+            })
+            .done()
+            .done();
+        let p = b.build();
+        let sites = p.sync_sites();
+        assert_eq!(sites.len(), 2);
+        // Lines must be distinct.
+        assert_ne!(sites[0].line, sites[1].line);
+    }
+
+    #[test]
+    fn sync_method_shortcut() {
+        let mut b = ProgramBuilder::new();
+        b.class("app.C")
+            .sync_method("handle", |s| {
+                s.work(1);
+            })
+            .done();
+        let p = b.build();
+        let c = p.class("app.C").unwrap();
+        assert!(c.method("handle").unwrap().synchronized);
+        assert_eq!(
+            p.sync_sites(),
+            vec![SyncSite::new("app.C", "handle", 1)]
+        );
+    }
+
+    #[test]
+    fn opaque_method_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.class("app.C")
+            .opaque_method("native0", |s| {
+                s.sync(LockExpr::global("X"), |_| {});
+            })
+            .done();
+        let p = b.build();
+        assert!(p.class("app.C").unwrap().method("native0").unwrap().opaque);
+    }
+
+    #[test]
+    fn calls_and_branches() {
+        let mut b = ProgramBuilder::new();
+        b.class("app.C")
+            .plain_method("m", |s| {
+                s.branch(
+                    |t| {
+                        t.call("app.C", "other");
+                    },
+                    |e| {
+                        e.repeat(3, |r| {
+                            r.work(1);
+                        });
+                    },
+                );
+            })
+            .plain_method("other", |s| {
+                s.work(1);
+            })
+            .done();
+        let p = b.build();
+        assert!(p.resolve(&MethodRef::new("app.C", "other")).is_some());
+        let m = p.class("app.C").unwrap().method("m").unwrap();
+        assert_eq!(m.body.len(), 1);
+    }
+
+    #[test]
+    fn explicit_ops_counted_in_stats() {
+        let mut b = ProgramBuilder::new();
+        b.class("app.C")
+            .plain_method("m", |s| {
+                s.explicit_lock("rl").work(1).explicit_unlock("rl");
+            })
+            .done();
+        let p = b.build();
+        assert_eq!(p.stats().explicit_sync_ops, 2);
+    }
+
+    #[test]
+    fn multiple_classes_accumulate() {
+        let mut b = ProgramBuilder::new();
+        b.class("a.A").plain_method("m", |_| {}).done();
+        b.class("b.B").plain_method("m", |_| {}).done();
+        let p = b.build();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn line_counter_is_per_class() {
+        let mut b = ProgramBuilder::new();
+        b.class("a.A").plain_method("m", |s| { s.work(1); }).done();
+        b.class("b.B").plain_method("m", |s| { s.work(1); }).done();
+        let p = b.build();
+        // Both classes start their numbering at 1.
+        assert_eq!(p.class("a.A").unwrap().method("m").unwrap().decl_line, 1);
+        assert_eq!(p.class("b.B").unwrap().method("m").unwrap().decl_line, 1);
+    }
+}

@@ -1,0 +1,432 @@
+//! Classes, methods, whole programs, and canonical bytecode hashing.
+
+use std::collections::BTreeMap;
+
+use communix_crypto::{sha256, Digest};
+
+use crate::ast::Stmt;
+use crate::names::{ClassName, MethodRef, SyncSite};
+
+/// A method of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Method {
+    /// Method name (no overloading in the model).
+    pub name: String,
+    /// Whether the method is declared `synchronized`. Lowering wraps the
+    /// body in a `synchronized(this)` block, mirroring the paper's AspectJ
+    /// transformation (§III-C3).
+    pub synchronized: bool,
+    /// Source line of the method declaration (the sync site for
+    /// synchronized methods).
+    pub decl_line: u32,
+    /// Structured body.
+    pub body: Vec<Stmt>,
+    /// If true, the static analyzer cannot retrieve this method's CFG —
+    /// models Soot's failures on reflective/native code (Table I analyzed
+    /// only 11–54% of sync blocks).
+    pub opaque: bool,
+}
+
+impl Method {
+    /// Creates a plain (non-synchronized, analyzable) method.
+    pub fn new(name: impl Into<String>, decl_line: u32, body: Vec<Stmt>) -> Self {
+        Method {
+            name: name.into(),
+            synchronized: false,
+            decl_line,
+            body,
+            opaque: false,
+        }
+    }
+
+    /// Number of `synchronized` constructs: blocks in the body plus one if
+    /// the method itself is synchronized. This is what Table I counts as
+    /// "Sync bl/meths".
+    pub fn sync_count(&self) -> usize {
+        let blocks: usize = self.body.iter().map(Stmt::count_sync_blocks).sum();
+        blocks + usize::from(self.synchronized)
+    }
+
+    /// Number of explicit `ReentrantLock` lock/unlock call sites.
+    pub fn explicit_op_count(&self) -> usize {
+        self.body.iter().map(Stmt::count_explicit_ops).sum()
+    }
+
+    /// Approximate source-line footprint of the method (declaration line
+    /// plus one line per statement), used for the Table I LOC column.
+    pub fn loc(&self) -> usize {
+        let mut lines = 2; // declaration + closing brace
+        for s in &self.body {
+            s.visit(&mut |_| lines += 1);
+        }
+        lines
+    }
+}
+
+/// A class: a named set of methods, hashable as "bytecode".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassFile {
+    /// Fully qualified class name.
+    pub name: ClassName,
+    /// Methods in declaration order.
+    pub methods: Vec<Method>,
+}
+
+impl ClassFile {
+    /// Creates a class.
+    pub fn new(name: impl Into<ClassName>, methods: Vec<Method>) -> Self {
+        ClassFile {
+            name: name.into(),
+            methods,
+        }
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&Method> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// The SHA-256 hash of the class's canonical serialization.
+    ///
+    /// Any change to any method body changes the hash — this is the
+    /// version-identity Communix uses to match signatures to the classes
+    /// actually loaded (§III-B: "hash values of class bytecodes, in order
+    /// to distinguish different versions of the same class or different
+    /// classes having the same name").
+    pub fn bytecode_hash(&self) -> Digest {
+        sha256(self.canonical_bytes().as_bytes())
+    }
+
+    /// Canonical textual serialization (a stable "disassembly") that the
+    /// hash is computed over.
+    pub fn canonical_bytes(&self) -> String {
+        let mut out = String::new();
+        out.push_str("class ");
+        out.push_str(self.name.as_str());
+        out.push('\n');
+        for m in &self.methods {
+            out.push_str(&format!(
+                "method {} sync={} opaque={} line={}\n",
+                m.name, m.synchronized, m.opaque, m.decl_line
+            ));
+            for s in &m.body {
+                serialize_stmt(s, 1, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Total sync blocks + synchronized methods in the class.
+    pub fn sync_block_count(&self) -> usize {
+        self.methods.iter().map(Method::sync_count).sum()
+    }
+
+    /// Approximate LOC of the class.
+    pub fn loc(&self) -> usize {
+        2 + self.methods.iter().map(Method::loc).sum::<usize>()
+    }
+}
+
+fn serialize_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match s {
+        Stmt::Sync { lock, line, body } => {
+            out.push_str(&format!("{pad}sync {lock} @{line}\n"));
+            for c in body {
+                serialize_stmt(c, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}end\n"));
+        }
+        Stmt::Call { target, line } => out.push_str(&format!("{pad}call {target} @{line}\n")),
+        Stmt::Work { ticks, line } => out.push_str(&format!("{pad}work {ticks} @{line}\n")),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            line,
+        } => {
+            out.push_str(&format!("{pad}if @{line}\n"));
+            for c in then_branch {
+                serialize_stmt(c, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}else\n"));
+            for c in else_branch {
+                serialize_stmt(c, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}end\n"));
+        }
+        Stmt::Repeat { times, body, line } => {
+            out.push_str(&format!("{pad}repeat {times} @{line}\n"));
+            for c in body {
+                serialize_stmt(c, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}end\n"));
+        }
+        Stmt::ExplicitLock { name, line } => {
+            out.push_str(&format!("{pad}xlock {name} @{line}\n"));
+        }
+        Stmt::ExplicitUnlock { name, line } => {
+            out.push_str(&format!("{pad}xunlock {name} @{line}\n"));
+        }
+    }
+}
+
+/// A complete program: the closed set of classes an application consists
+/// of. (Class *loading* is modelled separately by [`crate::ClassLoader`].)
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    classes: BTreeMap<ClassName, ClassFile>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds (or replaces) a class. Returns the previous definition if the
+    /// class already existed — replacing a class models shipping a new
+    /// version of it.
+    pub fn add_class(&mut self, class: ClassFile) -> Option<ClassFile> {
+        self.classes.insert(class.name.clone(), class)
+    }
+
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassFile> {
+        self.classes.get(&ClassName::new(name))
+    }
+
+    /// Looks up a class by [`ClassName`].
+    pub fn class_by_name(&self, name: &ClassName) -> Option<&ClassFile> {
+        self.classes.get(name)
+    }
+
+    /// Resolves a method reference.
+    pub fn resolve(&self, mref: &MethodRef) -> Option<&Method> {
+        self.classes
+            .get(&mref.class)
+            .and_then(|c| c.method(mref.method_name()))
+    }
+
+    /// Iterates over classes in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassFile> {
+        self.classes.values()
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the program has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The bytecode hash of each class, keyed by name. This is what the
+    /// running application exposes to the agent's hash validation.
+    pub fn hash_index(&self) -> BTreeMap<ClassName, Digest> {
+        self.classes
+            .iter()
+            .map(|(n, c)| (n.clone(), c.bytecode_hash()))
+            .collect()
+    }
+
+    /// All synchronized sites (blocks and methods) in the program, the
+    /// universe the nesting analysis classifies.
+    pub fn sync_sites(&self) -> Vec<SyncSite> {
+        let mut sites = Vec::new();
+        for class in self.classes.values() {
+            for m in &class.methods {
+                if m.synchronized {
+                    sites.push(SyncSite::new(
+                        class.name.clone(),
+                        m.name.clone(),
+                        m.decl_line,
+                    ));
+                }
+                for s in &m.body {
+                    s.visit(&mut |st| {
+                        if let Stmt::Sync { line, .. } = st {
+                            sites.push(SyncSite::new(class.name.clone(), m.name.clone(), *line));
+                        }
+                    });
+                }
+            }
+        }
+        sites
+    }
+
+    /// Whole-program statistics, matching the columns of Table I.
+    pub fn stats(&self) -> ProgramStats {
+        let mut stats = ProgramStats::default();
+        stats.classes = self.classes.len();
+        for class in self.classes.values() {
+            stats.loc += class.loc();
+            stats.sync_blocks_and_methods += class.sync_block_count();
+            for m in &class.methods {
+                stats.methods += 1;
+                stats.explicit_sync_ops += m.explicit_op_count();
+                if m.opaque {
+                    stats.opaque_methods += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+impl FromIterator<ClassFile> for Program {
+    fn from_iter<T: IntoIterator<Item = ClassFile>>(iter: T) -> Self {
+        let mut p = Program::new();
+        for c in iter {
+            p.add_class(c);
+        }
+        p
+    }
+}
+
+impl Extend<ClassFile> for Program {
+    fn extend<T: IntoIterator<Item = ClassFile>>(&mut self, iter: T) {
+        for c in iter {
+            self.add_class(c);
+        }
+    }
+}
+
+/// Whole-program statistics: the inputs to the Table I columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of methods.
+    pub methods: usize,
+    /// Approximate lines of code.
+    pub loc: usize,
+    /// `synchronized` blocks + methods ("Sync bl/meths" in Table I).
+    pub sync_blocks_and_methods: usize,
+    /// Explicit `ReentrantLock.lock/unlock()` call sites.
+    pub explicit_sync_ops: usize,
+    /// Methods whose CFG the analyzer cannot retrieve.
+    pub opaque_methods: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::LockExpr;
+
+    fn class_with_sync() -> ClassFile {
+        ClassFile::new(
+            "app.C",
+            vec![
+                Method {
+                    name: "syncMethod".into(),
+                    synchronized: true,
+                    decl_line: 1,
+                    body: vec![Stmt::Work { ticks: 1, line: 2 }],
+                    opaque: false,
+                },
+                Method::new(
+                    "blockMethod",
+                    10,
+                    vec![Stmt::Sync {
+                        lock: LockExpr::global("L"),
+                        line: 11,
+                        body: vec![],
+                    }],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn sync_counts() {
+        let c = class_with_sync();
+        assert_eq!(c.sync_block_count(), 2);
+    }
+
+    #[test]
+    fn hash_changes_with_body() {
+        let a = class_with_sync();
+        let mut b = a.clone();
+        b.methods[0].body.push(Stmt::Work { ticks: 9, line: 3 });
+        assert_ne!(a.bytecode_hash(), b.bytecode_hash());
+    }
+
+    #[test]
+    fn hash_stable_for_identical_classes() {
+        assert_eq!(
+            class_with_sync().bytecode_hash(),
+            class_with_sync().bytecode_hash()
+        );
+    }
+
+    #[test]
+    fn hash_differs_by_name() {
+        let a = class_with_sync();
+        let mut b = a.clone();
+        b.name = ClassName::new("app.D");
+        assert_ne!(a.bytecode_hash(), b.bytecode_hash());
+    }
+
+    #[test]
+    fn program_resolution() {
+        let mut p = Program::new();
+        p.add_class(class_with_sync());
+        assert!(p.resolve(&MethodRef::new("app.C", "syncMethod")).is_some());
+        assert!(p.resolve(&MethodRef::new("app.C", "nope")).is_none());
+        assert!(p.resolve(&MethodRef::new("app.X", "syncMethod")).is_none());
+    }
+
+    #[test]
+    fn sync_sites_enumerated() {
+        let mut p = Program::new();
+        p.add_class(class_with_sync());
+        let sites = p.sync_sites();
+        assert_eq!(sites.len(), 2);
+        assert!(sites.contains(&SyncSite::new("app.C", "syncMethod", 1)));
+        assert!(sites.contains(&SyncSite::new("app.C", "blockMethod", 11)));
+    }
+
+    #[test]
+    fn stats_roll_up() {
+        let mut p = Program::new();
+        p.add_class(class_with_sync());
+        let s = p.stats();
+        assert_eq!(s.classes, 1);
+        assert_eq!(s.methods, 2);
+        assert_eq!(s.sync_blocks_and_methods, 2);
+        assert_eq!(s.explicit_sync_ops, 0);
+        assert!(s.loc > 4);
+    }
+
+    #[test]
+    fn replacing_class_returns_old_version() {
+        let mut p = Program::new();
+        assert!(p.add_class(class_with_sync()).is_none());
+        let mut v2 = class_with_sync();
+        v2.methods[0].body.clear();
+        let old = p.add_class(v2.clone()).expect("old version returned");
+        assert_eq!(old, class_with_sync());
+        assert_eq!(p.class("app.C").unwrap(), &v2);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let p: Program = vec![class_with_sync()].into_iter().collect();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn hash_index_covers_all_classes() {
+        let mut p = Program::new();
+        p.add_class(class_with_sync());
+        let idx = p.hash_index();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(
+            idx[&ClassName::new("app.C")],
+            p.class("app.C").unwrap().bytecode_hash()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! A Java-like program model: the substrate Communix operates on.
+//!
+//! The paper targets arbitrary Java applications, but Communix only ever
+//! observes a program through three surfaces:
+//!
+//! 1. **lock operations with call stacks** — `synchronized` blocks/methods
+//!    compile to `monitorenter`/`monitorexit` bytecode, which Dimmunix
+//!    interposes on;
+//! 2. **class bytecode hashes** — the plugin attaches "the hash of the
+//!    class bytecode containing that frame" to every signature frame
+//!    (§III-C);
+//! 3. **a control-flow graph over bytecode** — the agent's nesting
+//!    analysis walks the CFG "of an application binary" (§III-C3).
+//!
+//! This crate provides exactly those surfaces for synthetic applications:
+//! a structured source-level AST ([`Stmt`]) with `synchronized` blocks,
+//! method calls, branches and loops; a lowering pass to linear bytecode
+//! ([`Instr`]) that turns synchronized methods into `synchronized(this)`
+//! blocks (mirroring the paper's AspectJ transformation); canonical
+//! per-class bytecode hashing; and a class-loading model (classes load
+//! lazily, and "new classes loaded w.r.t. the previous run" trigger agent
+//! re-analysis).
+//!
+//! # Example
+//!
+//! ```
+//! use communix_bytecode::{ProgramBuilder, LockExpr};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.class("app.Main")
+//!     .method("run")
+//!     .sync(LockExpr::global("A"), |s| {
+//!         s.work(10).sync(LockExpr::global("B"), |s| {
+//!             s.work(5);
+//!         });
+//!     })
+//!     .done()
+//!     .done();
+//! let program = b.build();
+//! let main = program.class("app.Main").unwrap();
+//! assert_eq!(main.sync_block_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod builder;
+mod class;
+mod loader;
+mod lower;
+mod names;
+
+pub use ast::Stmt;
+pub use builder::{ClassBuilder, MethodBuilder, ProgramBuilder, StmtSink};
+pub use class::{ClassFile, Method, Program, ProgramStats};
+pub use loader::{ClassLoader, LoadEvent};
+pub use lower::{lower_method, Instr, LoweredClass, LoweredMethod, LoweredProgram};
+pub use names::{ClassName, LockExpr, MethodRef, SyncSite};

@@ -1,0 +1,451 @@
+//! Lowering the structured AST to linear bytecode.
+//!
+//! The agent's nesting analysis (§III-C3) is defined over "the control
+//! flow graph (CFG) of an application binary" with explicit
+//! `monitorenter`/`monitorexit` statements. This pass produces that binary
+//! form: a flat instruction vector per method with explicit jump targets.
+//!
+//! Synchronized *methods* are lowered as `synchronized(this)` blocks that
+//! wrap the method body — exactly the transformation the paper notes
+//! AspectJ performs — so the analysis and the runtimes only ever see
+//! blocks.
+
+use std::collections::BTreeMap;
+
+use crate::ast::Stmt;
+use crate::class::{ClassFile, Method, Program};
+use crate::names::{ClassName, LockExpr, MethodRef, SyncSite};
+
+/// A lowered bytecode instruction. Jump targets are indices into the
+/// owning method's instruction vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Acquire the monitor of `lock`; `site` is the originating
+    /// synchronized block/method location.
+    MonitorEnter {
+        /// Lock operand.
+        lock: LockExpr,
+        /// Source identity of the synchronized construct.
+        site: SyncSite,
+    },
+    /// Release the monitor acquired by the matching enter.
+    MonitorExit {
+        /// Lock operand.
+        lock: LockExpr,
+        /// Source identity of the synchronized construct.
+        site: SyncSite,
+    },
+    /// Invoke another method.
+    Call {
+        /// Callee.
+        target: MethodRef,
+        /// Source line of the call site (used for stack frames).
+        line: u32,
+    },
+    /// Consume CPU for `ticks` virtual ticks.
+    Work {
+        /// Cost.
+        ticks: u32,
+    },
+    /// Two-way conditional branch: falls through to the next instruction
+    /// or jumps to `target`.
+    Branch {
+        /// Jump target when the runtime decision selects the second arm.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Jump target.
+        target: usize,
+    },
+    /// Loop header: executes the body (fallthrough) `times` times, then
+    /// jumps to `exit`. The CFG has edges to both, giving loops a
+    /// back-edge like real bytecode.
+    LoopHead {
+        /// Iteration count.
+        times: u32,
+        /// First instruction after the loop.
+        exit: usize,
+    },
+    /// Explicit `ReentrantLock.lock()` — opaque to Communix (§III-C1).
+    ExplicitLock {
+        /// Lock object name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Explicit `ReentrantLock.unlock()`.
+    ExplicitUnlock {
+        /// Lock object name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// Return from the method.
+    Return,
+}
+
+/// A lowered method: flat instructions plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredMethod {
+    /// The method this was lowered from.
+    pub mref: MethodRef,
+    /// Whether the source method was declared `synchronized`.
+    pub synchronized: bool,
+    /// Whether the analyzer must treat this method as opaque (no CFG).
+    pub opaque: bool,
+    /// Flat instruction vector; always ends with [`Instr::Return`].
+    pub code: Vec<Instr>,
+}
+
+impl LoweredMethod {
+    /// All `MonitorEnter` instruction indices with their sites.
+    pub fn monitor_enters(&self) -> Vec<(usize, &SyncSite)> {
+        self.code
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ins)| match ins {
+                Instr::MonitorEnter { site, .. } => Some((i, site)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Successor instruction indices of instruction `i` in the CFG.
+    pub fn successors(&self, i: usize) -> Vec<usize> {
+        match &self.code[i] {
+            Instr::Return => Vec::new(),
+            Instr::Jump { target } => vec![*target],
+            Instr::Branch { target } => vec![i + 1, *target],
+            Instr::LoopHead { exit, .. } => vec![i + 1, *exit],
+            _ => vec![i + 1],
+        }
+    }
+}
+
+/// A lowered class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredClass {
+    /// Class name.
+    pub name: ClassName,
+    /// Lowered methods, keyed by method name.
+    pub methods: BTreeMap<String, LoweredMethod>,
+}
+
+/// A fully lowered program: the "application binary" the static analysis
+/// and the runtimes execute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoweredProgram {
+    classes: BTreeMap<ClassName, LoweredClass>,
+}
+
+impl LoweredProgram {
+    /// Lowers every class of `program`.
+    pub fn lower(program: &Program) -> Self {
+        let mut classes = BTreeMap::new();
+        for class in program.iter() {
+            classes.insert(class.name.clone(), lower_class(class));
+        }
+        LoweredProgram { classes }
+    }
+
+    /// Looks up a lowered method.
+    pub fn method(&self, mref: &MethodRef) -> Option<&LoweredMethod> {
+        self.classes
+            .get(&mref.class)
+            .and_then(|c| c.methods.get(mref.method_name()))
+    }
+
+    /// Looks up a lowered class.
+    pub fn class(&self, name: &ClassName) -> Option<&LoweredClass> {
+        self.classes.get(name)
+    }
+
+    /// Iterates over lowered classes in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &LoweredClass> {
+        self.classes.values()
+    }
+
+    /// Iterates over all lowered methods.
+    pub fn methods(&self) -> impl Iterator<Item = &LoweredMethod> {
+        self.classes.values().flat_map(|c| c.methods.values())
+    }
+}
+
+fn lower_class(class: &ClassFile) -> LoweredClass {
+    let mut methods = BTreeMap::new();
+    for m in &class.methods {
+        methods.insert(m.name.clone(), lower_method(&class.name, m));
+    }
+    LoweredClass {
+        name: class.name.clone(),
+        methods,
+    }
+}
+
+/// Lowers a single method of `class` to flat bytecode.
+///
+/// # Example
+///
+/// ```
+/// use communix_bytecode::{lower_method, Instr, Method, Stmt, LockExpr};
+///
+/// let m = Method {
+///     name: "run".into(),
+///     synchronized: true,
+///     decl_line: 1,
+///     body: vec![Stmt::Work { ticks: 3, line: 2 }],
+///     opaque: false,
+/// };
+/// let lowered = lower_method(&"app.C".into(), &m);
+/// // synchronized method => monitorenter(this) ... monitorexit(this) return
+/// assert!(matches!(lowered.code.first(), Some(Instr::MonitorEnter { .. })));
+/// assert!(matches!(lowered.code.last(), Some(Instr::Return)));
+/// ```
+pub fn lower_method(class: &ClassName, m: &Method) -> LoweredMethod {
+    let mut code = Vec::new();
+    let mref = MethodRef::new(class.clone(), m.name.clone());
+
+    if m.synchronized {
+        // synchronized method == synchronized(this) wrapping the body.
+        let site = SyncSite::new(class.clone(), m.name.clone(), m.decl_line);
+        code.push(Instr::MonitorEnter {
+            lock: LockExpr::This,
+            site: site.clone(),
+        });
+        for s in &m.body {
+            lower_stmt(class, &m.name, s, &mut code);
+        }
+        code.push(Instr::MonitorExit {
+            lock: LockExpr::This,
+            site,
+        });
+    } else {
+        for s in &m.body {
+            lower_stmt(class, &m.name, s, &mut code);
+        }
+    }
+    code.push(Instr::Return);
+
+    LoweredMethod {
+        mref,
+        synchronized: m.synchronized,
+        opaque: m.opaque,
+        code,
+    }
+}
+
+fn lower_stmt(class: &ClassName, method: &str, s: &Stmt, code: &mut Vec<Instr>) {
+    match s {
+        Stmt::Sync { lock, line, body } => {
+            let site = SyncSite::new(class.clone(), method, *line);
+            code.push(Instr::MonitorEnter {
+                lock: lock.clone(),
+                site: site.clone(),
+            });
+            for c in body {
+                lower_stmt(class, method, c, code);
+            }
+            code.push(Instr::MonitorExit {
+                lock: lock.clone(),
+                site,
+            });
+        }
+        Stmt::Call { target, line } => code.push(Instr::Call {
+            target: target.clone(),
+            line: *line,
+        }),
+        Stmt::Work { ticks, .. } => code.push(Instr::Work { ticks: *ticks }),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            // branch else_start; <then>; jump end; <else>; end:
+            let branch_at = code.len();
+            code.push(Instr::Branch { target: 0 }); // patched below
+            for c in then_branch {
+                lower_stmt(class, method, c, code);
+            }
+            let jump_at = code.len();
+            code.push(Instr::Jump { target: 0 }); // patched below
+            let else_start = code.len();
+            for c in else_branch {
+                lower_stmt(class, method, c, code);
+            }
+            let end = code.len();
+            code[branch_at] = Instr::Branch { target: else_start };
+            code[jump_at] = Instr::Jump { target: end };
+        }
+        Stmt::Repeat { times, body, .. } => {
+            // head: loophead exit; <body>; jump head; exit:
+            let head = code.len();
+            code.push(Instr::LoopHead {
+                times: *times,
+                exit: 0, // patched below
+            });
+            for c in body {
+                lower_stmt(class, method, c, code);
+            }
+            code.push(Instr::Jump { target: head });
+            let exit = code.len();
+            code[head] = Instr::LoopHead {
+                times: *times,
+                exit,
+            };
+        }
+        Stmt::ExplicitLock { name, line } => code.push(Instr::ExplicitLock {
+            name: name.clone(),
+            line: *line,
+        }),
+        Stmt::ExplicitUnlock { name, line } => code.push(Instr::ExplicitUnlock {
+            name: name.clone(),
+            line: *line,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_body(body: Vec<Stmt>) -> LoweredMethod {
+        lower_method(
+            &ClassName::new("t.C"),
+            &Method::new("m", 1, body),
+        )
+    }
+
+    #[test]
+    fn sync_block_lowering_brackets_body() {
+        let lm = lower_body(vec![Stmt::Sync {
+            lock: LockExpr::global("A"),
+            line: 5,
+            body: vec![Stmt::Work { ticks: 1, line: 6 }],
+        }]);
+        assert!(matches!(lm.code[0], Instr::MonitorEnter { .. }));
+        assert!(matches!(lm.code[1], Instr::Work { ticks: 1 }));
+        assert!(matches!(lm.code[2], Instr::MonitorExit { .. }));
+        assert!(matches!(lm.code[3], Instr::Return));
+    }
+
+    #[test]
+    fn sync_method_becomes_sync_this() {
+        let m = Method {
+            name: "run".into(),
+            synchronized: true,
+            decl_line: 3,
+            body: vec![],
+            opaque: false,
+        };
+        let lm = lower_method(&ClassName::new("t.C"), &m);
+        match &lm.code[0] {
+            Instr::MonitorEnter { lock, site } => {
+                assert_eq!(*lock, LockExpr::This);
+                assert_eq!(*site, SyncSite::new("t.C", "run", 3));
+            }
+            other => panic!("expected MonitorEnter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_lowering_has_two_successor_paths() {
+        let lm = lower_body(vec![Stmt::If {
+            line: 1,
+            then_branch: vec![Stmt::Work { ticks: 1, line: 2 }],
+            else_branch: vec![Stmt::Work { ticks: 2, line: 3 }],
+        }]);
+        // code: [branch, work1, jump, work2, return]
+        assert_eq!(lm.successors(0), vec![1, 3]);
+        // then-arm jump goes to the return.
+        assert_eq!(lm.successors(2), vec![4]);
+    }
+
+    #[test]
+    fn empty_else_branch_jumps_past() {
+        let lm = lower_body(vec![Stmt::If {
+            line: 1,
+            then_branch: vec![Stmt::Work { ticks: 1, line: 2 }],
+            else_branch: vec![],
+        }]);
+        // code: [branch->3, work, jump->3, return]
+        assert_eq!(lm.successors(0), vec![1, 3]);
+        assert_eq!(lm.successors(2), vec![3]);
+    }
+
+    #[test]
+    fn loop_lowering_has_back_edge_and_exit() {
+        let lm = lower_body(vec![Stmt::Repeat {
+            times: 4,
+            line: 1,
+            body: vec![Stmt::Work { ticks: 1, line: 2 }],
+        }]);
+        // code: [loophead(exit=3), work, jump->0, return]
+        assert_eq!(lm.successors(0), vec![1, 3]);
+        assert_eq!(lm.successors(2), vec![0]);
+        assert!(matches!(lm.code[3], Instr::Return));
+    }
+
+    #[test]
+    fn nested_sync_preserves_nesting_order() {
+        let lm = lower_body(vec![Stmt::Sync {
+            lock: LockExpr::global("A"),
+            line: 1,
+            body: vec![Stmt::Sync {
+                lock: LockExpr::global("B"),
+                line: 2,
+                body: vec![],
+            }],
+        }]);
+        let enters = lm.monitor_enters();
+        assert_eq!(enters.len(), 2);
+        assert_eq!(enters[0].1.line, 1);
+        assert_eq!(enters[1].1.line, 2);
+        // Exits appear in reverse order (disciplined Java-style nesting).
+        let exits: Vec<u32> = lm
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                Instr::MonitorExit { site, .. } => Some(site.line),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(exits, vec![2, 1]);
+    }
+
+    #[test]
+    fn return_terminates_every_method() {
+        let lm = lower_body(vec![]);
+        assert_eq!(lm.code, vec![Instr::Return]);
+        assert!(lm.successors(0).is_empty());
+    }
+
+    #[test]
+    fn lowered_program_resolves_methods() {
+        let mut p = Program::new();
+        p.add_class(ClassFile::new(
+            "t.C",
+            vec![Method::new("m", 1, vec![Stmt::Work { ticks: 1, line: 2 }])],
+        ));
+        let lp = LoweredProgram::lower(&p);
+        assert!(lp.method(&MethodRef::new("t.C", "m")).is_some());
+        assert!(lp.method(&MethodRef::new("t.C", "zz")).is_none());
+        assert_eq!(lp.methods().count(), 1);
+    }
+
+    #[test]
+    fn explicit_ops_lower_verbatim() {
+        let lm = lower_body(vec![
+            Stmt::ExplicitLock {
+                name: "rl".into(),
+                line: 1,
+            },
+            Stmt::ExplicitUnlock {
+                name: "rl".into(),
+                line: 2,
+            },
+        ]);
+        assert!(matches!(lm.code[0], Instr::ExplicitLock { .. }));
+        assert!(matches!(lm.code[1], Instr::ExplicitUnlock { .. }));
+    }
+}

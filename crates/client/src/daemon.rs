@@ -1,0 +1,174 @@
+//! The Communix client daemon.
+//!
+//! "The Communix client runs as a background process, decoupled from the
+//! agent. Without this decoupling, the Communix agent would have to
+//! connect to the server and retrieve new deadlock signatures every time
+//! a Java application starts." (§III-B)
+//!
+//! "The local repository is updated once a day; a high frequency (e.g.,
+//! once a minute) would overload the Communix server." (§III-B)
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use crate::repo::LocalRepository;
+use crate::sync::{sync_once, Connector};
+
+/// Statistics of a running daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Sync rounds attempted.
+    pub rounds: u64,
+    /// Signatures downloaded in total.
+    pub downloaded: u64,
+    /// Rounds that failed (server unreachable etc.); the daemon retries
+    /// on the next period.
+    pub failures: u64,
+}
+
+/// A background thread that periodically syncs a repository.
+#[derive(Debug)]
+pub struct ClientDaemon {
+    stop: Sender<()>,
+    handle: Option<JoinHandle<()>>,
+    stats: Arc<Mutex<DaemonStats>>,
+}
+
+impl ClientDaemon {
+    /// The paper's refresh period.
+    pub const DEFAULT_PERIOD: Duration = Duration::from_secs(24 * 60 * 60);
+
+    /// Spawns a daemon that syncs `repo` through `connector` every
+    /// `period`. The first sync runs immediately.
+    pub fn spawn<C>(
+        mut connector: C,
+        repo: Arc<Mutex<LocalRepository>>,
+        period: Duration,
+    ) -> ClientDaemon
+    where
+        C: Connector + Send + 'static,
+    {
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let stats = Arc::new(Mutex::new(DaemonStats::default()));
+        let stats2 = stats.clone();
+        let handle = std::thread::spawn(move || loop {
+            {
+                let mut repo = repo.lock();
+                let mut stats = stats2.lock();
+                stats.rounds += 1;
+                match sync_once(&mut connector, &mut repo) {
+                    Ok(n) => stats.downloaded += n as u64,
+                    Err(_) => stats.failures += 1,
+                }
+            }
+            // Sleep until the next period or until stopped.
+            match stop_rx.recv_timeout(period) {
+                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            }
+        });
+        ClientDaemon {
+            stop: stop_tx,
+            handle: Some(handle),
+            stats,
+        }
+    }
+
+    /// Snapshot of the daemon's counters.
+    pub fn stats(&self) -> DaemonStats {
+        *self.stats.lock()
+    }
+
+    /// Stops the daemon and joins its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        let _ = self.stop.try_send(());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ClientDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_net::{Reply, Request};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn daemon_syncs_immediately_and_periodically() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = calls.clone();
+        let conn = move |req: Request| -> Result<Reply, String> {
+            let n = calls2.fetch_add(1, Ordering::SeqCst);
+            match req {
+                Request::Get { from } => Ok(Reply::Sigs {
+                    from,
+                    // One new signature per round.
+                    sigs: vec![format!("s{n}")],
+                }),
+                _ => Err("unexpected".into()),
+            }
+        };
+        let repo = Arc::new(Mutex::new(LocalRepository::in_memory()));
+        let mut daemon = ClientDaemon::spawn(conn, repo.clone(), Duration::from_millis(20));
+        // Wait for at least 3 rounds.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while calls.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        daemon.shutdown();
+        let stats = daemon.stats();
+        assert!(stats.rounds >= 3, "rounds={}", stats.rounds);
+        assert_eq!(stats.downloaded, stats.rounds);
+        assert_eq!(repo.lock().len() as u64, stats.downloaded);
+    }
+
+    #[test]
+    fn daemon_counts_failures_and_keeps_running() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = calls.clone();
+        let conn = move |req: Request| -> Result<Reply, String> {
+            let n = calls2.fetch_add(1, Ordering::SeqCst);
+            if n % 2 == 0 {
+                Err("server down".into())
+            } else {
+                match req {
+                    Request::Get { from } => Ok(Reply::Sigs { from, sigs: vec![] }),
+                    _ => Err("unexpected".into()),
+                }
+            }
+        };
+        let repo = Arc::new(Mutex::new(LocalRepository::in_memory()));
+        let mut daemon = ClientDaemon::spawn(conn, repo, Duration::from_millis(10));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while calls.load(Ordering::SeqCst) < 4 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        daemon.shutdown();
+        let stats = daemon.stats();
+        assert!(stats.failures >= 1);
+        assert!(stats.rounds >= stats.failures);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let conn = |_req: Request| -> Result<Reply, String> {
+            Ok(Reply::Sigs { from: 0, sigs: vec![] })
+        };
+        let repo = Arc::new(Mutex::new(LocalRepository::in_memory()));
+        let mut daemon = ClientDaemon::spawn(conn, repo, Duration::from_secs(3600));
+        daemon.shutdown();
+        daemon.shutdown();
+        drop(daemon);
+    }
+}

@@ -1,0 +1,13 @@
+//! The Communix client: a local signature repository kept in sync with
+//! the Communix server by a background daemon (§III-B).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod daemon;
+mod repo;
+mod sync;
+
+pub use daemon::{ClientDaemon, DaemonStats};
+pub use repo::LocalRepository;
+pub use sync::{obtain_id, sync_once, upload_signature, Connector, SyncError};

@@ -1,0 +1,235 @@
+//! Incremental synchronization with the Communix server.
+//!
+//! [`Connector`] abstracts "a way to reach the server": over TCP in real
+//! deployments, in-process for tests and the Figure 2 benchmark, or
+//! through the simulated network for Figure 3.
+
+use std::fmt;
+
+use communix_net::{EncryptedId, Reply, Request};
+
+use crate::repo::LocalRepository;
+
+/// Transport-agnostic request/reply channel to the server.
+pub trait Connector {
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::Transport`]-worthy failures as strings.
+    fn call(&mut self, request: Request) -> Result<Reply, String>;
+}
+
+impl<F> Connector for F
+where
+    F: FnMut(Request) -> Result<Reply, String>,
+{
+    fn call(&mut self, request: Request) -> Result<Reply, String> {
+        self(request)
+    }
+}
+
+/// Errors from a sync or upload operation.
+#[derive(Debug)]
+pub enum SyncError {
+    /// The transport failed.
+    Transport(String),
+    /// The server replied with something unexpected.
+    Protocol(String),
+    /// Persisting the repository failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::Transport(e) => write!(f, "transport failure: {e}"),
+            SyncError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            SyncError::Io(e) => write!(f, "repository i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+impl From<std::io::Error> for SyncError {
+    fn from(e: std::io::Error) -> Self {
+        SyncError::Io(e)
+    }
+}
+
+/// Downloads the signatures the repository does not have yet:
+/// `GET(repo.len())`, exactly the paper's incremental update.
+///
+/// Returns the number of new signatures stored.
+///
+/// # Errors
+///
+/// Returns [`SyncError`] on transport, protocol, or persistence failures;
+/// the repository is left unchanged on failure.
+pub fn sync_once(
+    connector: &mut dyn Connector,
+    repo: &mut LocalRepository,
+) -> Result<usize, SyncError> {
+    let from = repo.len() as u64;
+    let reply = connector
+        .call(Request::Get { from })
+        .map_err(SyncError::Transport)?;
+    match reply {
+        Reply::Sigs { from: got_from, sigs } => {
+            if got_from != from {
+                return Err(SyncError::Protocol(format!(
+                    "asked for index {from}, server answered from {got_from}"
+                )));
+            }
+            Ok(repo.append(sigs)?)
+        }
+        Reply::Error { message } => Err(SyncError::Protocol(message)),
+        other => Err(SyncError::Protocol(format!(
+            "unexpected reply to GET: {other:?}"
+        ))),
+    }
+}
+
+/// Uploads one signature with the sender's encrypted id (the plugin's
+/// ADD). Returns whether the server accepted it, with the server's
+/// reason on rejection.
+///
+/// # Errors
+///
+/// Returns [`SyncError`] on transport or protocol failures.
+pub fn upload_signature(
+    connector: &mut dyn Connector,
+    sender: EncryptedId,
+    sig_text: String,
+) -> Result<(bool, String), SyncError> {
+    let reply = connector
+        .call(Request::Add { sender, sig_text })
+        .map_err(SyncError::Transport)?;
+    match reply {
+        Reply::AddAck { accepted, reason } => Ok((accepted, reason)),
+        Reply::Error { message } => Err(SyncError::Protocol(message)),
+        other => Err(SyncError::Protocol(format!(
+            "unexpected reply to ADD: {other:?}"
+        ))),
+    }
+}
+
+/// Requests an encrypted id for `user` from the server's id authority.
+///
+/// # Errors
+///
+/// Returns [`SyncError`] on transport or protocol failures.
+pub fn obtain_id(connector: &mut dyn Connector, user: u64) -> Result<EncryptedId, SyncError> {
+    let reply = connector
+        .call(Request::IssueId { user })
+        .map_err(SyncError::Transport)?;
+    match reply {
+        Reply::Id { id } => Ok(id),
+        Reply::Error { message } => Err(SyncError::Protocol(message)),
+        other => Err(SyncError::Protocol(format!(
+            "unexpected reply to ISSUE_ID: {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted fake server.
+    struct Script(Vec<Reply>);
+
+    impl Connector for Script {
+        fn call(&mut self, _request: Request) -> Result<Reply, String> {
+            if self.0.is_empty() {
+                Err("no more scripted replies".into())
+            } else {
+                Ok(self.0.remove(0))
+            }
+        }
+    }
+
+    #[test]
+    fn sync_appends_new_sigs() {
+        let mut repo = LocalRepository::in_memory();
+        let mut conn = Script(vec![Reply::Sigs {
+            from: 0,
+            sigs: vec!["s1".into(), "s2".into()],
+        }]);
+        let n = sync_once(&mut conn, &mut repo).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(repo.len(), 2);
+    }
+
+    #[test]
+    fn sync_requests_from_current_length() {
+        let mut repo = LocalRepository::in_memory();
+        repo.append(["a".into(), "b".into()]).unwrap();
+        let mut asked = None;
+        let mut conn = |req: Request| -> Result<Reply, String> {
+            if let Request::Get { from } = req {
+                asked = Some(from);
+            }
+            Ok(Reply::Sigs {
+                from: 2,
+                sigs: vec![],
+            })
+        };
+        let n = sync_once(&mut conn, &mut repo).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(asked, Some(2));
+    }
+
+    #[test]
+    fn mismatched_from_is_protocol_error() {
+        let mut repo = LocalRepository::in_memory();
+        let mut conn = Script(vec![Reply::Sigs {
+            from: 5,
+            sigs: vec![],
+        }]);
+        assert!(matches!(
+            sync_once(&mut conn, &mut repo),
+            Err(SyncError::Protocol(_))
+        ));
+        assert_eq!(repo.len(), 0);
+    }
+
+    #[test]
+    fn transport_failure_propagates() {
+        let mut repo = LocalRepository::in_memory();
+        let mut conn = Script(vec![]);
+        assert!(matches!(
+            sync_once(&mut conn, &mut repo),
+            Err(SyncError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn unexpected_reply_is_protocol_error() {
+        let mut repo = LocalRepository::in_memory();
+        let mut conn = Script(vec![Reply::Id { id: [0u8; 16] }]);
+        assert!(matches!(
+            sync_once(&mut conn, &mut repo),
+            Err(SyncError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn upload_roundtrip() {
+        let mut conn = Script(vec![Reply::AddAck {
+            accepted: false,
+            reason: "adjacent signature from same sender".into(),
+        }]);
+        let (accepted, reason) =
+            upload_signature(&mut conn, [0u8; 16], "sig".into()).unwrap();
+        assert!(!accepted);
+        assert!(reason.contains("adjacent"));
+    }
+
+    #[test]
+    fn obtain_id_roundtrip() {
+        let mut conn = Script(vec![Reply::Id { id: [3u8; 16] }]);
+        assert_eq!(obtain_id(&mut conn, 7).unwrap(), [3u8; 16]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Time sources for the Communix framework.
+//!
+//! Several Communix mechanisms are defined in terms of wall-clock time:
+//! the server's "10 signatures per day per user" rate limit (§III-C1), the
+//! client's once-a-day repository refresh (§III-B), and Dimmunix's
+//! false-positive detector ("at least one interval of 1 second having more
+//! than 10 instantiations", §III-C1). To make all of those deterministic
+//! and fast to test, every component takes a [`Clock`] — either the real
+//! [`SystemClock`] or a manually advanced [`VirtualClock`].
+//!
+//! # Example
+//!
+//! ```
+//! use communix_clock::{Clock, VirtualClock, Instant, Duration};
+//!
+//! let clock = VirtualClock::new();
+//! let t0 = clock.now();
+//! clock.advance(Duration::from_secs(86_400));
+//! assert_eq!(clock.now() - t0, Duration::from_secs(86_400));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use std::time::Duration;
+
+/// A point in time, measured in nanoseconds since an arbitrary epoch.
+///
+/// Unlike `std::time::Instant`, this type is constructible from raw
+/// nanoseconds so virtual clocks can mint values, and it supports
+/// subtraction yielding a [`Duration`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    nanos: u64,
+}
+
+impl Instant {
+    /// Constructs an instant from nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Instant { nanos }
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// The duration elapsed from `earlier` to `self`.
+    ///
+    /// Returns [`Duration::ZERO`] if `earlier` is later than `self`
+    /// (mirrors `Instant::saturating_duration_since`).
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    /// Adds a duration, saturating at the maximum representable instant.
+    pub fn saturating_add(&self, d: Duration) -> Instant {
+        Instant {
+            nanos: self.nanos.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+        }
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, rhs: Duration) -> Instant {
+        self.saturating_add(rhs)
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+
+    fn sub(self, rhs: Instant) -> Duration {
+        self.saturating_duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A monotonic time source.
+///
+/// All Communix components that need time take `&dyn Clock` or a generic
+/// `C: Clock`, so tests can drive them with a [`VirtualClock`].
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current time.
+    fn now(&self) -> Instant;
+}
+
+/// Wall-clock time backed by `std::time::Instant`.
+///
+/// All `SystemClock` clones share the same process-wide epoch, so instants
+/// from different clones are comparable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl SystemClock {
+    /// Creates a system clock.
+    pub fn new() -> Self {
+        SystemClock
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+        let epoch = EPOCH.get_or_init(std::time::Instant::now);
+        Instant::from_nanos(epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+/// A manually advanced clock for deterministic tests and simulations.
+///
+/// Cloning a `VirtualClock` yields a handle to the *same* underlying time,
+/// so a component and its test harness stay in sync.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock {
+            nanos: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates a virtual clock at a specific starting instant.
+    pub fn starting_at(start: Instant) -> Self {
+        VirtualClock {
+            nanos: Arc::new(AtomicU64::new(start.as_nanos())),
+        }
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to `t`. Panics if `t` is in the past: Communix
+    /// clocks are monotonic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time.
+    pub fn set(&self, t: Instant) {
+        let prev = self.nanos.swap(t.as_nanos(), Ordering::SeqCst);
+        assert!(
+            prev <= t.as_nanos(),
+            "VirtualClock must be monotonic: {prev} -> {}",
+            t.as_nanos()
+        );
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Instant {
+        Instant::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+/// One day, the paper's client refresh period and rate-limit window.
+pub const DAY: Duration = Duration::from_secs(24 * 60 * 60);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Instant::from_nanos(0));
+        c.advance(Duration::from_millis(1500));
+        assert_eq!(c.now(), Instant::from_nanos(1_500_000_000));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_secs(5));
+        assert_eq!(b.now(), Instant::from_nanos(5_000_000_000));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = Instant::from_nanos(100);
+        assert_eq!(t + Duration::from_nanos(50), Instant::from_nanos(150));
+        assert_eq!(Instant::from_nanos(150) - t, Duration::from_nanos(50));
+        // Saturating subtraction: earlier - later = 0.
+        assert_eq!(t - Instant::from_nanos(150), Duration::ZERO);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn system_clock_clones_share_epoch() {
+        let a = SystemClock::new();
+        let b = a;
+        assert!(b.now() >= a.now() || a.now() - b.now() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn starting_at_offsets_time() {
+        let c = VirtualClock::starting_at(Instant::from_nanos(42));
+        assert_eq!(c.now(), Instant::from_nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn set_backwards_panics() {
+        let c = VirtualClock::new();
+        c.advance(Duration::from_secs(10));
+        c.set(Instant::from_nanos(1));
+    }
+
+    #[test]
+    fn set_forward_ok() {
+        let c = VirtualClock::new();
+        c.set(Instant::from_nanos(7));
+        assert_eq!(c.now(), Instant::from_nanos(7));
+    }
+
+    #[test]
+    fn day_constant() {
+        assert_eq!(DAY, Duration::from_secs(86_400));
+    }
+
+    #[test]
+    fn instant_display() {
+        let t = Instant::from_nanos(1_500_000_000);
+        assert_eq!(t.to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn clock_trait_object_usable() {
+        let v = VirtualClock::new();
+        let c: &dyn Clock = &v;
+        assert_eq!(c.now(), Instant::from_nanos(0));
+    }
+}

@@ -1,0 +1,169 @@
+//! The Communix plugin (§III-A, §III-C).
+//!
+//! "The Communix plugin, implemented on top of Dimmunix, sends the
+//! deadlock signatures to the Communix server, right after Dimmunix
+//! produces the signatures." Before sending, it "attaches to each call
+//! stack frame of the signature the hash of the class bytecode containing
+//! that frame" — the version identity the agent's validation checks on
+//! the receiving side.
+
+use std::collections::HashMap;
+
+use communix_bytecode::Program;
+use communix_client::{upload_signature, Connector, SyncError};
+use communix_crypto::Digest;
+use communix_dimmunix::{CallStack, SigEntry, Signature};
+use communix_net::EncryptedId;
+
+/// Attaches bytecode hashes to outgoing signatures and uploads them.
+#[derive(Debug, Clone, Default)]
+pub struct CommunixPlugin {
+    hashes: HashMap<String, Digest>,
+}
+
+impl CommunixPlugin {
+    /// Creates a plugin over the application's class-hash index.
+    pub fn new(hashes: impl IntoIterator<Item = (String, Digest)>) -> Self {
+        CommunixPlugin {
+            hashes: hashes.into_iter().collect(),
+        }
+    }
+
+    /// Creates a plugin covering every class of `program` — the common
+    /// case, since Dimmunix only produces frames for executed (hence
+    /// loaded) classes.
+    pub fn for_program(program: &Program) -> Self {
+        CommunixPlugin::new(
+            program
+                .hash_index()
+                .into_iter()
+                .map(|(k, v)| (k.as_str().to_string(), v)),
+        )
+    }
+
+    /// Number of classes the plugin can hash.
+    pub fn class_count(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Returns `sig` with the declaring class's bytecode hash attached to
+    /// every frame. Frames whose class is unknown (should not happen for
+    /// signatures produced by the local Dimmunix) keep their existing
+    /// hash field.
+    pub fn attach_hashes(&self, sig: &Signature) -> Signature {
+        let fix_stack = |stack: &CallStack| -> CallStack {
+            let mut out = stack.clone();
+            for frame in out.frames_mut() {
+                if let Some(h) = self.hashes.get(frame.site.class.as_ref()) {
+                    frame.hash = Some(*h);
+                }
+            }
+            out
+        };
+        Signature::new(
+            sig.entries()
+                .iter()
+                .map(|e| SigEntry::new(fix_stack(&e.outer), fix_stack(&e.inner)))
+                .collect(),
+            sig.origin(),
+        )
+    }
+
+    /// Whether every frame of `sig` carries a hash (i.e. the signature is
+    /// ready for upload).
+    pub fn fully_hashed(&self, sig: &Signature) -> bool {
+        sig.entries().iter().all(|e| {
+            e.outer.frames().iter().chain(e.inner.frames()).all(|f| f.hash.is_some())
+        })
+    }
+
+    /// Hash-attaches `sig` and uploads it through `connector` with the
+    /// node's encrypted id. Returns the server's verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] on transport or protocol failures.
+    pub fn upload(
+        &self,
+        connector: &mut dyn Connector,
+        sender: EncryptedId,
+        sig: &Signature,
+    ) -> Result<(bool, String), SyncError> {
+        let hashed = self.attach_hashes(sig);
+        upload_signature(connector, sender, hashed.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_bytecode::{LockExpr, ProgramBuilder};
+    use communix_dimmunix::Frame;
+    use communix_net::{Reply, Request};
+
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.class("app.C")
+            .plain_method("m", |s| {
+                s.sync(LockExpr::global("A"), |s| {
+                    s.sync(LockExpr::global("B"), |_| {});
+                });
+            })
+            .done();
+        b.build()
+    }
+
+    fn raw_sig() -> Signature {
+        let cs = |l: u32| -> CallStack {
+            vec![Frame::new("app.C", "m", l)].into_iter().collect()
+        };
+        Signature::local(vec![
+            SigEntry::new(cs(2), cs(3)),
+            SigEntry::new(cs(3), cs(2)),
+        ])
+    }
+
+    #[test]
+    fn attaches_hashes_to_known_classes() {
+        let p = program();
+        let plugin = CommunixPlugin::for_program(&p);
+        let sig = raw_sig();
+        assert!(!plugin.fully_hashed(&sig));
+        let hashed = plugin.attach_hashes(&sig);
+        assert!(plugin.fully_hashed(&hashed));
+        let expected = p.class("app.C").unwrap().bytecode_hash();
+        for e in hashed.entries() {
+            assert_eq!(e.outer.frames()[0].hash, Some(expected));
+        }
+        // Site identity untouched.
+        assert!(hashed.same_bug(&sig));
+    }
+
+    #[test]
+    fn unknown_class_frames_left_alone() {
+        let plugin = CommunixPlugin::new(Vec::<(String, Digest)>::new());
+        let hashed = plugin.attach_hashes(&raw_sig());
+        assert!(!plugin.fully_hashed(&hashed));
+        assert_eq!(plugin.class_count(), 0);
+    }
+
+    #[test]
+    fn upload_sends_hashed_text() {
+        let p = program();
+        let plugin = CommunixPlugin::for_program(&p);
+        let mut seen: Option<String> = None;
+        let mut conn = |req: Request| -> Result<Reply, String> {
+            if let Request::Add { sig_text, .. } = req {
+                seen = Some(sig_text);
+            }
+            Ok(Reply::AddAck {
+                accepted: true,
+                reason: String::new(),
+            })
+        };
+        let (accepted, _) = plugin.upload(&mut conn, [1u8; 16], &raw_sig()).unwrap();
+        assert!(accepted);
+        let sent: Signature = seen.expect("ADD sent").parse().unwrap();
+        assert!(plugin.fully_hashed(&sent), "wire signature must carry hashes");
+    }
+}

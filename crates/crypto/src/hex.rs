@@ -1,0 +1,133 @@
+//! Minimal hexadecimal codec used by digests, the wire protocol, and the
+//! on-disk history format.
+
+use std::fmt;
+
+/// Error returned when parsing invalid hexadecimal input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseHexError {
+    /// The input length was odd.
+    OddLength(usize),
+    /// A character was not in `[0-9a-fA-F]`.
+    InvalidChar {
+        /// Byte offset of the offending character.
+        index: usize,
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for ParseHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseHexError::OddLength(n) => write!(f, "odd hex length {n}"),
+            ParseHexError::InvalidChar { index, ch } => {
+                write!(f, "invalid hex character {ch:?} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseHexError {}
+
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `bytes` as lowercase hex.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(communix_crypto::encode_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(HEX_CHARS[(b >> 4) as usize] as char);
+        out.push(HEX_CHARS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+fn nibble(ch: u8, index: usize) -> Result<u8, ParseHexError> {
+    match ch {
+        b'0'..=b'9' => Ok(ch - b'0'),
+        b'a'..=b'f' => Ok(ch - b'a' + 10),
+        b'A'..=b'F' => Ok(ch - b'A' + 10),
+        _ => Err(ParseHexError::InvalidChar {
+            index,
+            ch: ch as char,
+        }),
+    }
+}
+
+/// Decodes lowercase or uppercase hex into bytes.
+///
+/// # Errors
+///
+/// Returns [`ParseHexError`] if the input has odd length or contains a
+/// non-hex character.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), communix_crypto::ParseHexError> {
+/// assert_eq!(communix_crypto::decode_hex("DEAD")?, vec![0xde, 0xad]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, ParseHexError> {
+    let bytes = s.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(ParseHexError::OddLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0], 2 * i)?;
+        let lo = nibble(pair[1], 2 * i + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode_hex(&encode_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode_hex(&[]), "");
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode_hex("AbCd").unwrap(), vec![0xab, 0xcd]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode_hex("abc"), Err(ParseHexError::OddLength(3)));
+    }
+
+    #[test]
+    fn invalid_char_rejected_with_position() {
+        assert_eq!(
+            decode_hex("ab0g"),
+            Err(ParseHexError::InvalidChar { index: 3, ch: 'g' })
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(ParseHexError::OddLength(3).to_string(), "odd hex length 3");
+        assert!(ParseHexError::InvalidChar { index: 3, ch: 'g' }
+            .to_string()
+            .contains("index 3"));
+    }
+}

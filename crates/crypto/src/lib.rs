@@ -1,0 +1,38 @@
+//! Cryptographic primitives for the Communix framework, implemented from
+//! scratch (no external crypto dependencies).
+//!
+//! The paper relies on two primitives:
+//!
+//! * **SHA-256** — the Communix plugin attaches "the hash of the class
+//!   bytecode" to every call-stack frame of a signature (§III-C), so that
+//!   the agent can match signatures against the exact class versions loaded
+//!   by the running application.
+//! * **AES-128** — the Communix server "uses AES encryption, with a
+//!   predefined 128-bit key, to produce the encrypted user ids" (§III-C2)
+//!   that accompany every uploaded signature.
+//!
+//! Both are verified against the official FIPS test vectors in this crate's
+//! test suite, and both are exercised indirectly by every higher layer.
+//!
+//! # Example
+//!
+//! ```
+//! use communix_crypto::{sha256, Digest};
+//!
+//! let d: Digest = sha256(b"class bytecode");
+//! assert_eq!(d.to_hex().len(), 64);
+//! assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod digest;
+mod hex;
+mod sha256;
+
+pub use aes::{Aes128, BLOCK_LEN, KEY_LEN};
+pub use digest::{Digest, ParseDigestError, DIGEST_LEN};
+pub use hex::{decode_hex, encode_hex, ParseHexError};
+pub use sha256::{sha256, Sha256};

@@ -1,0 +1,45 @@
+//! Property-based tests for the crypto substrate.
+
+use communix_crypto::{decode_hex, encode_hex, sha256, Aes128, Digest, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Hex encode/decode is a bijection on byte strings.
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let enc = encode_hex(&data);
+        prop_assert_eq!(decode_hex(&enc).unwrap(), data);
+    }
+
+    /// Streaming SHA-256 equals one-shot regardless of chunking.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        splits in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut h = Sha256::new();
+        let mut offsets: Vec<usize> = splits.iter().map(|s| s % (data.len() + 1)).collect();
+        offsets.sort_unstable();
+        let mut prev = 0;
+        for off in offsets {
+            h.update(&data[prev..off]);
+            prev = off;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// AES decrypt ∘ encrypt is the identity for all keys and blocks.
+    #[test]
+    fn aes_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let cipher = Aes128::new(&key);
+        prop_assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
+    }
+
+    /// Digest hex parsing is inverse of formatting.
+    #[test]
+    fn digest_roundtrip(bytes in any::<[u8; 32]>()) {
+        let d = Digest::from_bytes(bytes);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
+    }
+}

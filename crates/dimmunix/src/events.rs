@@ -1,0 +1,124 @@
+//! Events emitted by the Dimmunix core, consumed by runtimes, the
+//! Communix plugin, and tests.
+
+use crate::ids::{LockId, ThreadId};
+use crate::signature::Signature;
+
+/// An observable state transition inside Dimmunix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A thread acquired a lock (including reentrant re-acquisition).
+    Acquired {
+        /// Acquiring thread.
+        thread: ThreadId,
+        /// Acquired lock.
+        lock: LockId,
+        /// Whether this was a reentrant re-acquisition.
+        reentrant: bool,
+    },
+    /// A thread blocked on a busy lock (normal mutex contention).
+    Blocked {
+        /// Blocked thread.
+        thread: ThreadId,
+        /// Contended lock.
+        lock: LockId,
+    },
+    /// The avoidance module suspended a thread because its acquisition
+    /// would instantiate a history signature (§II-A).
+    Suspended {
+        /// Suspended thread.
+        thread: ThreadId,
+        /// Requested lock.
+        lock: LockId,
+        /// History index of the signature that would be instantiated.
+        sig_index: usize,
+    },
+    /// A previously suspended thread's request became safe and was
+    /// re-admitted.
+    Resumed {
+        /// Resumed thread.
+        thread: ThreadId,
+        /// Requested lock.
+        lock: LockId,
+    },
+    /// An avoidance yield was cancelled to resolve avoidance-induced
+    /// starvation: the suspended thread was let through even though the
+    /// signature still matched.
+    ForcedGrant {
+        /// The thread let through.
+        thread: ThreadId,
+        /// Requested lock.
+        lock: LockId,
+        /// Signature whose yield was cancelled.
+        sig_index: usize,
+    },
+    /// A lock was released (outermost exit only).
+    Released {
+        /// Releasing thread.
+        thread: ThreadId,
+        /// Released lock.
+        lock: LockId,
+    },
+    /// A queued waiter was granted a released lock.
+    Granted {
+        /// The new owner.
+        thread: ThreadId,
+        /// The lock.
+        lock: LockId,
+    },
+    /// The detection module found a deadlock and extracted its signature.
+    DeadlockDetected {
+        /// The extracted signature (already added to the history).
+        signature: Signature,
+        /// Threads in the cycle.
+        threads: Vec<ThreadId>,
+        /// Locks in the cycle.
+        locks: Vec<LockId>,
+    },
+    /// A deadlock victim's pending acquisition was aborted so the
+    /// application can unwind (modelling the user restarting a hung app).
+    VictimAborted {
+        /// The aborted thread.
+        thread: ThreadId,
+        /// The lock it was waiting for.
+        lock: LockId,
+    },
+    /// The false-positive detector flagged a signature (§III-C1: ≥100
+    /// instantiations, no true positive, >10 instantiations in some 1 s
+    /// window).
+    FalsePositiveSuspect {
+        /// History index of the suspect signature.
+        sig_index: usize,
+    },
+}
+
+/// A wake-up instruction for the hosting runtime: a parked thread's
+/// request has concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// The thread now owns the lock it requested; unpark it.
+    Granted(ThreadId),
+    /// The thread's request was aborted as a deadlock victim; its lock
+    /// operation must fail so the application can unwind.
+    Aborted(ThreadId),
+}
+
+impl Wake {
+    /// The thread this wake targets.
+    pub fn thread(&self) -> ThreadId {
+        match self {
+            Wake::Granted(t) | Wake::Aborted(t) => *t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_thread_accessor() {
+        assert_eq!(Wake::Granted(ThreadId(4)).thread(), ThreadId(4));
+        assert_eq!(Wake::Aborted(ThreadId(5)).thread(), ThreadId(5));
+    }
+}

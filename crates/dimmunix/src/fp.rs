@@ -1,0 +1,264 @@
+//! Dimmunix's false-positive detection mechanism.
+//!
+//! "If after 100 instantiations of a signature S there was no true
+//! positive, and there was at least one interval of 1 second having more
+//! than 10 instantiations of S, Dimmunix decides to warn the user about
+//! signature S" (§III-C1). Communix relies on this to defuse functionality
+//! DoS attacks: malicious signatures that over-serialize an application
+//! get flagged so the user can drop them.
+
+use std::collections::VecDeque;
+
+use communix_clock::{Duration, Instant};
+
+/// Per-signature instantiation statistics.
+#[derive(Debug, Clone, Default)]
+struct SigStats {
+    instantiations: u64,
+    true_positives: u64,
+    /// Timestamps of recent instantiations, pruned to the burst window.
+    recent: VecDeque<Instant>,
+    /// Whether some window of `burst_window` ever saw more than
+    /// `burst_threshold` instantiations.
+    burst_seen: bool,
+    warned: bool,
+}
+
+/// Tracks instantiations and true positives per history signature and
+/// raises at most one warning per signature.
+#[derive(Debug, Clone)]
+pub struct FalsePositiveDetector {
+    stats: Vec<SigStats>,
+    /// Instantiation count after which a signature with no true positives
+    /// becomes suspect (paper: 100).
+    instantiation_threshold: u64,
+    /// Burst size that must be exceeded within one window (paper: 10).
+    burst_threshold: usize,
+    /// Burst window length (paper: 1 second).
+    burst_window: Duration,
+}
+
+impl Default for FalsePositiveDetector {
+    fn default() -> Self {
+        FalsePositiveDetector::new(100, 10, Duration::from_secs(1))
+    }
+}
+
+impl FalsePositiveDetector {
+    /// Creates a detector with explicit thresholds.
+    pub fn new(instantiation_threshold: u64, burst_threshold: usize, burst_window: Duration) -> Self {
+        FalsePositiveDetector {
+            stats: Vec::new(),
+            instantiation_threshold,
+            burst_threshold,
+            burst_window,
+        }
+    }
+
+    fn ensure(&mut self, sig_index: usize) -> &mut SigStats {
+        if self.stats.len() <= sig_index {
+            self.stats.resize_with(sig_index + 1, SigStats::default);
+        }
+        &mut self.stats[sig_index]
+    }
+
+    /// Records an avoidance instantiation of signature `sig_index` at time
+    /// `now`. Returns `true` if this event makes the signature a
+    /// false-positive suspect (fires once per signature).
+    pub fn record_instantiation(&mut self, sig_index: usize, now: Instant) -> bool {
+        let burst_threshold = self.burst_threshold;
+        let burst_window = self.burst_window;
+        let instantiation_threshold = self.instantiation_threshold;
+        let s = self.ensure(sig_index);
+        s.instantiations += 1;
+        s.recent.push_back(now);
+        while let Some(front) = s.recent.front() {
+            if now.saturating_duration_since(*front) > burst_window {
+                s.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if s.recent.len() > burst_threshold {
+            s.burst_seen = true;
+        }
+        if !s.warned
+            && s.true_positives == 0
+            && s.burst_seen
+            && s.instantiations >= instantiation_threshold
+        {
+            s.warned = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records a true positive for `sig_index`: an actual deadlock
+    /// matching the signature occurred (so avoidances of it are genuine).
+    pub fn record_true_positive(&mut self, sig_index: usize) {
+        self.ensure(sig_index).true_positives += 1;
+    }
+
+    /// Instantiation count of `sig_index`.
+    pub fn instantiations(&self, sig_index: usize) -> u64 {
+        self.stats.get(sig_index).map_or(0, |s| s.instantiations)
+    }
+
+    /// True-positive count of `sig_index`.
+    pub fn true_positives(&self, sig_index: usize) -> u64 {
+        self.stats.get(sig_index).map_or(0, |s| s.true_positives)
+    }
+
+    /// Whether `sig_index` has been flagged as a suspected false positive.
+    pub fn is_suspect(&self, sig_index: usize) -> bool {
+        self.stats.get(sig_index).is_some_and(|s| s.warned)
+    }
+
+    /// Forgets everything (e.g. after the user confirms keeping a
+    /// signature, or the history is replaced wholesale).
+    pub fn reset(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Forgets stats for one signature (history slot reused after merge).
+    pub fn reset_signature(&mut self, sig_index: usize) {
+        if let Some(s) = self.stats.get_mut(sig_index) {
+            *s = SigStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> Instant {
+        Instant::from_nanos((secs * 1e9) as u64)
+    }
+
+    #[test]
+    fn warns_after_burst_and_threshold() {
+        let mut d = FalsePositiveDetector::default();
+        let mut warned = false;
+        // 100 instantiations packed into one second: burst + threshold.
+        for i in 0..100 {
+            warned |= d.record_instantiation(0, t(i as f64 * 0.005));
+        }
+        assert!(warned);
+        assert!(d.is_suspect(0));
+    }
+
+    #[test]
+    fn warning_fires_exactly_once() {
+        let mut d = FalsePositiveDetector::default();
+        let mut count = 0;
+        for i in 0..300 {
+            if d.record_instantiation(0, t(i as f64 * 0.005)) {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn no_warning_without_burst() {
+        // 150 instantiations, but spaced 1 per second: never >10 in 1 s.
+        let mut d = FalsePositiveDetector::default();
+        for i in 0..150 {
+            assert!(!d.record_instantiation(0, t(i as f64)));
+        }
+        assert!(!d.is_suspect(0));
+        assert_eq!(d.instantiations(0), 150);
+    }
+
+    #[test]
+    fn no_warning_below_instantiation_threshold() {
+        // A strong burst of 50 is still below the 100 threshold.
+        let mut d = FalsePositiveDetector::default();
+        for i in 0..50 {
+            assert!(!d.record_instantiation(0, t(i as f64 * 0.005)));
+        }
+        assert!(!d.is_suspect(0));
+    }
+
+    #[test]
+    fn true_positive_suppresses_warning() {
+        let mut d = FalsePositiveDetector::default();
+        d.record_true_positive(0);
+        for i in 0..500 {
+            assert!(!d.record_instantiation(0, t(i as f64 * 0.001)));
+        }
+        assert!(!d.is_suspect(0));
+        assert_eq!(d.true_positives(0), 1);
+    }
+
+    #[test]
+    fn burst_earlier_then_slow_accumulation_still_warns() {
+        // Burst happens early (instantiations 0..12 in 0.1 s), then the
+        // count creeps up slowly; once it crosses 100 the warning fires.
+        let mut d = FalsePositiveDetector::default();
+        let mut warned = false;
+        for i in 0..12 {
+            warned |= d.record_instantiation(0, t(i as f64 * 0.005));
+        }
+        assert!(!warned);
+        for i in 0..90 {
+            warned |= d.record_instantiation(0, t(10.0 + i as f64 * 2.0));
+        }
+        assert!(warned);
+    }
+
+    #[test]
+    fn signatures_tracked_independently() {
+        let mut d = FalsePositiveDetector::default();
+        for i in 0..100 {
+            d.record_instantiation(3, t(i as f64 * 0.005));
+        }
+        assert!(d.is_suspect(3));
+        assert!(!d.is_suspect(0));
+        assert_eq!(d.instantiations(0), 0);
+    }
+
+    #[test]
+    fn reset_signature_clears_slot() {
+        let mut d = FalsePositiveDetector::default();
+        for i in 0..100 {
+            d.record_instantiation(0, t(i as f64 * 0.005));
+        }
+        assert!(d.is_suspect(0));
+        d.reset_signature(0);
+        assert!(!d.is_suspect(0));
+        assert_eq!(d.instantiations(0), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut d = FalsePositiveDetector::default();
+        d.record_true_positive(2);
+        d.reset();
+        assert_eq!(d.true_positives(2), 0);
+    }
+
+    #[test]
+    fn custom_thresholds_respected() {
+        let mut d = FalsePositiveDetector::new(5, 2, Duration::from_secs(1));
+        let mut warned = false;
+        for i in 0..5 {
+            warned |= d.record_instantiation(0, t(i as f64 * 0.1));
+        }
+        assert!(warned);
+    }
+
+    #[test]
+    fn exactly_burst_threshold_in_window_is_not_enough() {
+        // "more than 10": exactly 10 in a window must not set the flag.
+        let mut d = FalsePositiveDetector::new(10, 10, Duration::from_secs(1));
+        let mut warned = false;
+        for i in 0..10 {
+            // 10 events spread over exactly 0.9s: window holds 10, not >10.
+            warned |= d.record_instantiation(0, t(i as f64 * 0.1));
+        }
+        assert!(!warned);
+        assert!(!d.is_suspect(0));
+    }
+}

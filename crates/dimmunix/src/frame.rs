@@ -1,0 +1,434 @@
+//! Call-stack frames and call stacks.
+//!
+//! A signature call stack "is encoded as a sequence of frames
+//! `[c1.m1:l1:h1, …, cn.mn:ln:hn]`, where ci are class names, mi are
+//! method names, li are line numbers, and hi is the hash of class ci's
+//! bytecode" (§III-C3). Frame *n* is the **top** frame; in our
+//! representation the top frame is the *last* element, so the paper's
+//! "call stack suffix" (the innermost frames) is a `Vec` tail.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use communix_crypto::Digest;
+
+/// A source location: class, method, line. Two frames denote the same
+/// *lock statement* iff their sites are equal — hashes are deliberately
+/// excluded (they denote code *versions*, not locations, and are only
+/// consulted by validation).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// Fully qualified class name.
+    pub class: Arc<str>,
+    /// Method name.
+    pub method: Arc<str>,
+    /// Source line.
+    pub line: u32,
+}
+
+impl Site {
+    /// Creates a site.
+    pub fn new(class: impl AsRef<str>, method: impl AsRef<str>, line: u32) -> Self {
+        Site {
+            class: Arc::from(class.as_ref()),
+            method: Arc::from(method.as_ref()),
+            line,
+        }
+    }
+}
+
+impl fmt::Debug for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Site({self})")
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}:{}", self.class, self.method, self.line)
+    }
+}
+
+/// One call-stack frame: a [`Site`] plus an optional bytecode hash.
+///
+/// Dimmunix produces frames without hashes; the Communix plugin "attaches
+/// to each call stack frame of the signature the hash of the class
+/// bytecode containing that frame" (§III-C) before upload.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frame {
+    /// Source location.
+    pub site: Site,
+    /// Bytecode hash of the declaring class, if attached.
+    pub hash: Option<Digest>,
+}
+
+impl Frame {
+    /// Creates a frame without a hash.
+    pub fn new(class: impl AsRef<str>, method: impl AsRef<str>, line: u32) -> Self {
+        Frame {
+            site: Site::new(class, method, line),
+            hash: None,
+        }
+    }
+
+    /// Creates a frame with a hash attached.
+    pub fn with_hash(
+        class: impl AsRef<str>,
+        method: impl AsRef<str>,
+        line: u32,
+        hash: Digest,
+    ) -> Self {
+        Frame {
+            site: Site::new(class, method, line),
+            hash: Some(hash),
+        }
+    }
+
+    /// Location equality, ignoring hashes. All signature matching and
+    /// merging compares frames this way; hashes matter only to the
+    /// validation pipeline.
+    pub fn site_eq(&self, other: &Frame) -> bool {
+        self.site == other.site
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Frame({self})")
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Serialized form: class#method:line[:hash]. `#` separates class
+        // from method so dotted class names parse unambiguously.
+        write!(f, "{}#{}:{}", self.site.class, self.site.method, self.site.line)?;
+        if let Some(h) = &self.hash {
+            write!(f, ":{h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`Frame`] or [`CallStack`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFrameError {
+    msg: String,
+}
+
+impl ParseFrameError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseFrameError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ParseFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid frame: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseFrameError {}
+
+impl FromStr for Frame {
+    type Err = ParseFrameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (class, rest) = s
+            .split_once('#')
+            .ok_or_else(|| ParseFrameError::new(format!("missing '#' in {s:?}")))?;
+        if class.is_empty() {
+            return Err(ParseFrameError::new("empty class name"));
+        }
+        let mut parts = rest.split(':');
+        let method = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| ParseFrameError::new("empty method name"))?;
+        let line: u32 = parts
+            .next()
+            .ok_or_else(|| ParseFrameError::new("missing line number"))?
+            .parse()
+            .map_err(|e| ParseFrameError::new(format!("bad line number: {e}")))?;
+        let hash = match parts.next() {
+            None => None,
+            Some(h) => Some(
+                Digest::from_hex(h)
+                    .map_err(|e| ParseFrameError::new(format!("bad hash: {e}")))?,
+            ),
+        };
+        if parts.next().is_some() {
+            return Err(ParseFrameError::new("trailing fields"));
+        }
+        Ok(Frame {
+            site: Site::new(class, method, line),
+            hash,
+        })
+    }
+}
+
+/// A call stack: outermost frame first, **top (innermost) frame last**.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CallStack {
+    frames: Vec<Frame>,
+}
+
+impl CallStack {
+    /// Creates a stack from frames (outermost first).
+    pub fn new(frames: Vec<Frame>) -> Self {
+        CallStack { frames }
+    }
+
+    /// An empty stack.
+    pub fn empty() -> Self {
+        CallStack::default()
+    }
+
+    /// The frames, outermost first.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Mutable access for hash attachment (plugin) and trimming
+    /// (validation).
+    pub fn frames_mut(&mut self) -> &mut Vec<Frame> {
+        &mut self.frames
+    }
+
+    /// The top (innermost) frame — the paper's "lock statement" when this
+    /// is an outer or inner stack of a signature.
+    pub fn top(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// Number of frames — the paper's "depth".
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the stack has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Pushes a frame on top.
+    pub fn push(&mut self, frame: Frame) {
+        self.frames.push(frame);
+    }
+
+    /// Pops the top frame.
+    pub fn pop(&mut self) -> Option<Frame> {
+        self.frames.pop()
+    }
+
+    /// Whether `self` is a suffix of `other`, comparing frame *sites*
+    /// (hashes ignored). An empty stack is a suffix of everything.
+    ///
+    /// This is the signature-matching primitive: a runtime stack matches a
+    /// signature stack when the signature stack is a suffix of it.
+    pub fn is_suffix_of(&self, other: &CallStack) -> bool {
+        if self.depth() > other.depth() {
+            return false;
+        }
+        let offset = other.depth() - self.depth();
+        self.frames
+            .iter()
+            .zip(&other.frames[offset..])
+            .all(|(a, b)| a.site_eq(b))
+    }
+
+    /// The longest common suffix of two stacks (site comparison), used by
+    /// signature generalization (§III-D). Hashes are taken from `self`'s
+    /// frames.
+    pub fn longest_common_suffix(&self, other: &CallStack) -> CallStack {
+        let mut n = 0;
+        let a = &self.frames;
+        let b = &other.frames;
+        while n < a.len() && n < b.len() && a[a.len() - 1 - n].site_eq(&b[b.len() - 1 - n]) {
+            n += 1;
+        }
+        CallStack {
+            frames: a[a.len() - n..].to_vec(),
+        }
+    }
+
+    /// Keeps only the top `n` frames (no-op if already ≤ n deep).
+    pub fn truncate_to_suffix(&mut self, n: usize) {
+        if self.frames.len() > n {
+            self.frames.drain(..self.frames.len() - n);
+        }
+    }
+}
+
+impl fmt::Debug for CallStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CallStack[{self}]")
+    }
+}
+
+impl fmt::Display for CallStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for fr in &self.frames {
+            if !first {
+                f.write_str("|")?;
+            }
+            write!(f, "{fr}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for CallStack {
+    type Err = ParseFrameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(CallStack::empty());
+        }
+        let frames = s
+            .split('|')
+            .map(Frame::from_str)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CallStack { frames })
+    }
+}
+
+impl FromIterator<Frame> for CallStack {
+    fn from_iter<T: IntoIterator<Item = Frame>>(iter: T) -> Self {
+        CallStack {
+            frames: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_crypto::sha256;
+
+    fn stack(names: &[(&str, u32)]) -> CallStack {
+        names
+            .iter()
+            .map(|(m, l)| Frame::new("app.C", *m, *l))
+            .collect()
+    }
+
+    #[test]
+    fn frame_roundtrip_without_hash() {
+        let f = Frame::new("org.jboss.X", "run", 42);
+        let s = f.to_string();
+        assert_eq!(s, "org.jboss.X#run:42");
+        assert_eq!(s.parse::<Frame>().unwrap(), f);
+    }
+
+    #[test]
+    fn frame_roundtrip_with_hash() {
+        let f = Frame::with_hash("a.B", "m", 7, sha256(b"x"));
+        let s = f.to_string();
+        assert_eq!(s.parse::<Frame>().unwrap(), f);
+    }
+
+    #[test]
+    fn frame_parse_errors() {
+        assert!("noHash".parse::<Frame>().is_err());
+        assert!("#m:1".parse::<Frame>().is_err());
+        assert!("c#:1".parse::<Frame>().is_err());
+        assert!("c#m".parse::<Frame>().is_err());
+        assert!("c#m:xyz".parse::<Frame>().is_err());
+        assert!("c#m:1:nothex".parse::<Frame>().is_err());
+        assert!("c#m:1:aa:bb".parse::<Frame>().is_err());
+    }
+
+    #[test]
+    fn site_eq_ignores_hash() {
+        let a = Frame::new("a.B", "m", 1);
+        let b = Frame::with_hash("a.B", "m", 1, sha256(b"v2"));
+        assert!(a.site_eq(&b));
+        assert_ne!(a, b); // full equality does see the hash
+    }
+
+    #[test]
+    fn suffix_matching() {
+        let sig = stack(&[("mid", 2), ("top", 3)]);
+        let runtime = stack(&[("bottom", 1), ("mid", 2), ("top", 3)]);
+        assert!(sig.is_suffix_of(&runtime));
+        assert!(!runtime.is_suffix_of(&sig));
+        // Top frame must coincide.
+        let other = stack(&[("mid", 2), ("different", 9)]);
+        assert!(!other.is_suffix_of(&runtime));
+    }
+
+    #[test]
+    fn empty_stack_is_suffix_of_everything() {
+        let e = CallStack::empty();
+        assert!(e.is_suffix_of(&stack(&[("m", 1)])));
+        assert!(e.is_suffix_of(&e));
+    }
+
+    #[test]
+    fn equal_stacks_are_suffixes() {
+        let a = stack(&[("m", 1), ("n", 2)]);
+        assert!(a.is_suffix_of(&a.clone()));
+    }
+
+    #[test]
+    fn suffix_ignores_hashes() {
+        let mut sig = stack(&[("top", 3)]);
+        sig.frames_mut()[0].hash = Some(sha256(b"v1"));
+        let mut rt = stack(&[("bottom", 1), ("top", 3)]);
+        rt.frames_mut()[1].hash = Some(sha256(b"v2"));
+        assert!(sig.is_suffix_of(&rt));
+    }
+
+    #[test]
+    fn longest_common_suffix_basic() {
+        let a = stack(&[("x", 1), ("mid", 2), ("top", 3)]);
+        let b = stack(&[("y", 9), ("mid", 2), ("top", 3)]);
+        let lcs = a.longest_common_suffix(&b);
+        assert_eq!(lcs, stack(&[("mid", 2), ("top", 3)]));
+    }
+
+    #[test]
+    fn longest_common_suffix_disjoint_is_empty() {
+        let a = stack(&[("x", 1)]);
+        let b = stack(&[("y", 2)]);
+        assert!(a.longest_common_suffix(&b).is_empty());
+    }
+
+    #[test]
+    fn longest_common_suffix_identical_is_whole() {
+        let a = stack(&[("x", 1), ("top", 2)]);
+        assert_eq!(a.longest_common_suffix(&a.clone()), a);
+    }
+
+    #[test]
+    fn truncate_to_suffix_keeps_top() {
+        let mut a = stack(&[("a", 1), ("b", 2), ("c", 3)]);
+        a.truncate_to_suffix(2);
+        assert_eq!(a, stack(&[("b", 2), ("c", 3)]));
+        a.truncate_to_suffix(10); // no-op
+        assert_eq!(a.depth(), 2);
+    }
+
+    #[test]
+    fn callstack_roundtrip() {
+        let a = stack(&[("a", 1), ("b", 2)]);
+        let s = a.to_string();
+        assert_eq!(s.parse::<CallStack>().unwrap(), a);
+        assert_eq!("".parse::<CallStack>().unwrap(), CallStack::empty());
+    }
+
+    #[test]
+    fn push_pop_top() {
+        let mut s = CallStack::empty();
+        s.push(Frame::new("c.C", "a", 1));
+        s.push(Frame::new("c.C", "b", 2));
+        assert_eq!(s.top().unwrap().site.method.as_ref(), "b");
+        assert_eq!(s.depth(), 2);
+        s.pop();
+        assert_eq!(s.top().unwrap().site.method.as_ref(), "a");
+    }
+}

@@ -1,0 +1,54 @@
+//! Identifier newtypes for threads and locks.
+
+use std::fmt;
+
+/// A runtime thread identity, assigned by the runtime that hosts
+/// Dimmunix (simulated threads in the simulator, OS threads otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u64);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for ThreadId {
+    fn from(v: u64) -> Self {
+        ThreadId(v)
+    }
+}
+
+/// A runtime lock identity (one per Java monitor object: a global named
+/// lock or a per-instance `this`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LockId(pub u64);
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl From<u64> for LockId {
+    fn from(v: u64) -> Self {
+        LockId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ThreadId(3).to_string(), "t3");
+        assert_eq!(LockId(9).to_string(), "l9");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ThreadId::from(5), ThreadId(5));
+        assert_eq!(LockId::from(5), LockId(5));
+    }
+}

@@ -1,0 +1,461 @@
+//! The Communix wire protocol.
+//!
+//! The server "processes two types of requests: an ADD(sig) request that
+//! means 'add signature sig to the database', and a GET(k) request that
+//! means 'send me the signatures from the database starting from index k'"
+//! (§IV-A). ADD requests carry the sender's encrypted id (§III-C2). We add
+//! an ISSUE_ID request standing in for the id-issuance service the paper
+//! assumes but does not implement.
+//!
+//! Framing: every message is a 4-byte big-endian length followed by the
+//! payload. Payloads start with a tag byte.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum accepted frame length (defensive bound; a signature is ~2 KB,
+/// but GET replies batch many signatures).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// An encrypted user id: one AES-128 block (§III-C2).
+pub type EncryptedId = [u8; 16];
+
+/// A client→server request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Add a signature (serialized in its text form) to the database.
+    Add {
+        /// The sender's encrypted id.
+        sender: EncryptedId,
+        /// Signature text (`sig … end`).
+        sig_text: String,
+    },
+    /// Send the signatures starting from index `from`.
+    Get {
+        /// First index wanted (a client with n local signatures sends
+        /// GET(n) — incremental download, §III-B).
+        from: u64,
+    },
+    /// Mint an encrypted id for `user` (stand-in for the paper's assumed
+    /// id-issuance service).
+    IssueId {
+        /// Plain user number to encrypt.
+        user: u64,
+    },
+}
+
+/// A server→client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Outcome of an ADD.
+    AddAck {
+        /// Whether the signature was accepted into the database.
+        accepted: bool,
+        /// Human-readable rejection reason (empty when accepted).
+        reason: String,
+    },
+    /// Signatures from index `from` onwards, in text form.
+    Sigs {
+        /// Index of the first signature in `sigs`.
+        from: u64,
+        /// Signature texts.
+        sigs: Vec<String>,
+    },
+    /// A freshly minted encrypted id.
+    Id {
+        /// The AES-encrypted id block.
+        id: EncryptedId,
+    },
+    /// Protocol-level failure.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+const TAG_ADD: u8 = 0x01;
+const TAG_GET: u8 = 0x02;
+const TAG_ISSUE_ID: u8 = 0x03;
+const TAG_ADD_ACK: u8 = 0x81;
+const TAG_SIGS: u8 = 0x82;
+const TAG_ID: u8 = 0x83;
+const TAG_ERROR: u8 = 0xFF;
+
+/// Codec error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame shorter than its header claims, or truncated field.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Frame length exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("truncated frame"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            CodecError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            CodecError::BadUtf8 => f.write_str("invalid utf-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if len > MAX_FRAME || buf.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+}
+
+impl Request {
+    /// Serializes the request payload (no frame header).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Add { sender, sig_text } => {
+                buf.put_u8(TAG_ADD);
+                buf.put_slice(sender);
+                put_string(&mut buf, sig_text);
+            }
+            Request::Get { from } => {
+                buf.put_u8(TAG_GET);
+                buf.put_u64(*from);
+            }
+            Request::IssueId { user } => {
+                buf.put_u8(TAG_ISSUE_ID);
+                buf.put_u64(*user);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or malformed input.
+    pub fn decode(mut payload: Bytes) -> Result<Self, CodecError> {
+        if payload.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        match payload.get_u8() {
+            TAG_ADD => {
+                if payload.remaining() < 16 {
+                    return Err(CodecError::Truncated);
+                }
+                let mut sender = [0u8; 16];
+                payload.copy_to_slice(&mut sender);
+                let sig_text = get_string(&mut payload)?;
+                Ok(Request::Add { sender, sig_text })
+            }
+            TAG_GET => {
+                if payload.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                Ok(Request::Get {
+                    from: payload.get_u64(),
+                })
+            }
+            TAG_ISSUE_ID => {
+                if payload.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                Ok(Request::IssueId {
+                    user: payload.get_u64(),
+                })
+            }
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+impl Reply {
+    /// Serializes the reply payload (no frame header).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Reply::AddAck { accepted, reason } => {
+                buf.put_u8(TAG_ADD_ACK);
+                buf.put_u8(u8::from(*accepted));
+                put_string(&mut buf, reason);
+            }
+            Reply::Sigs { from, sigs } => {
+                buf.put_u8(TAG_SIGS);
+                buf.put_u64(*from);
+                buf.put_u32(sigs.len() as u32);
+                for s in sigs {
+                    put_string(&mut buf, s);
+                }
+            }
+            Reply::Id { id } => {
+                buf.put_u8(TAG_ID);
+                buf.put_slice(id);
+            }
+            Reply::Error { message } => {
+                buf.put_u8(TAG_ERROR);
+                put_string(&mut buf, message);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a reply payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or malformed input.
+    pub fn decode(mut payload: Bytes) -> Result<Self, CodecError> {
+        if payload.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        match payload.get_u8() {
+            TAG_ADD_ACK => {
+                if payload.remaining() < 1 {
+                    return Err(CodecError::Truncated);
+                }
+                let accepted = payload.get_u8() != 0;
+                let reason = get_string(&mut payload)?;
+                Ok(Reply::AddAck { accepted, reason })
+            }
+            TAG_SIGS => {
+                if payload.remaining() < 12 {
+                    return Err(CodecError::Truncated);
+                }
+                let from = payload.get_u64();
+                let count = payload.get_u32() as usize;
+                if count > MAX_FRAME / 4 {
+                    return Err(CodecError::TooLarge(count));
+                }
+                let mut sigs = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    sigs.push(get_string(&mut payload)?);
+                }
+                Ok(Reply::Sigs { from, sigs })
+            }
+            TAG_ID => {
+                if payload.remaining() < 16 {
+                    return Err(CodecError::Truncated);
+                }
+                let mut id = [0u8; 16];
+                payload.copy_to_slice(&mut id);
+                Ok(Reply::Id { id })
+            }
+            TAG_ERROR => Ok(Reply::Error {
+                message: get_string(&mut payload)?,
+            }),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+/// Prepends the 4-byte length header to a payload.
+pub fn frame(payload: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(payload.len() + 4);
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Splits one frame off the front of `buf`, if complete. Returns the
+/// payload.
+///
+/// # Errors
+///
+/// Returns [`CodecError::TooLarge`] when the header announces a frame
+/// beyond [`MAX_FRAME`] (the caller should drop the connection).
+pub fn deframe(buf: &mut BytesMut) -> Result<Option<Bytes>, CodecError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(CodecError::TooLarge(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    Ok(Some(buf.split_to(len).freeze()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(Request::decode(r.encode()).unwrap(), r);
+    }
+
+    fn roundtrip_reply(r: Reply) {
+        assert_eq!(Reply::decode(r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Add {
+            sender: [7u8; 16],
+            sig_text: "sig local\nouter a#b:1\ninner a#c:2\nend".into(),
+        });
+        roundtrip_req(Request::Get { from: 12345 });
+        roundtrip_req(Request::IssueId { user: 42 });
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        roundtrip_reply(Reply::AddAck {
+            accepted: true,
+            reason: String::new(),
+        });
+        roundtrip_reply(Reply::AddAck {
+            accepted: false,
+            reason: "adjacent signature from same sender".into(),
+        });
+        roundtrip_reply(Reply::Sigs {
+            from: 3,
+            sigs: vec!["sig-a".into(), "sig-b".into()],
+        });
+        roundtrip_reply(Reply::Id { id: [9u8; 16] });
+        roundtrip_reply(Reply::Error {
+            message: "boom".into(),
+        });
+    }
+
+    #[test]
+    fn empty_sigs_reply() {
+        roundtrip_reply(Reply::Sigs {
+            from: 0,
+            sigs: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn framing_roundtrip() {
+        let payload = Request::Get { from: 8 }.encode();
+        let framed = frame(&payload);
+        let mut buf = BytesMut::from(&framed[..]);
+        let got = deframe(&mut buf).unwrap().unwrap();
+        assert_eq!(got, payload);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn deframe_handles_partial_input() {
+        let payload = Request::Get { from: 8 }.encode();
+        let framed = frame(&payload);
+        let mut buf = BytesMut::from(&framed[..3]);
+        assert_eq!(deframe(&mut buf).unwrap(), None);
+        buf.extend_from_slice(&framed[3..framed.len() - 1]);
+        assert_eq!(deframe(&mut buf).unwrap(), None);
+        buf.extend_from_slice(&framed[framed.len() - 1..]);
+        assert!(deframe(&mut buf).unwrap().is_some());
+    }
+
+    #[test]
+    fn deframe_two_messages_in_one_buffer() {
+        let a = frame(&Request::Get { from: 1 }.encode());
+        let b = frame(&Request::Get { from: 2 }.encode());
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&a);
+        buf.extend_from_slice(&b);
+        let p1 = deframe(&mut buf).unwrap().unwrap();
+        let p2 = deframe(&mut buf).unwrap().unwrap();
+        assert_eq!(Request::decode(p1).unwrap(), Request::Get { from: 1 });
+        assert_eq!(Request::decode(p2).unwrap(), Request::Get { from: 2 });
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32((MAX_FRAME + 1) as u32);
+        assert_eq!(
+            deframe(&mut buf),
+            Err(CodecError::TooLarge(MAX_FRAME + 1))
+        );
+    }
+
+    #[test]
+    fn truncated_payloads_rejected() {
+        assert_eq!(
+            Request::decode(Bytes::new()),
+            Err(CodecError::Truncated)
+        );
+        assert_eq!(
+            Request::decode(Bytes::from_static(&[TAG_ADD, 1, 2])),
+            Err(CodecError::Truncated)
+        );
+        assert_eq!(
+            Reply::decode(Bytes::from_static(&[TAG_SIGS, 0])),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(
+            Request::decode(Bytes::from_static(&[0x55])),
+            Err(CodecError::BadTag(0x55))
+        );
+        assert_eq!(
+            Reply::decode(Bytes::from_static(&[0x55])),
+            Err(CodecError::BadTag(0x55))
+        );
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_ERROR);
+        buf.put_u32(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert_eq!(Reply::decode(buf.freeze()), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    fn wire_size_of_realistic_signature_near_paper() {
+        // The paper reports 1.7 KB per signature on the wire.
+        use communix_crypto::sha256;
+        use communix_dimmunix::{CallStack, Frame, SigEntry, Signature};
+        let deep: CallStack = (0..10)
+            .map(|i| {
+                Frame::with_hash(
+                    "com.limegroup.gnutella.ConnectionManager",
+                    "initializeFetchedConnection",
+                    900 + i,
+                    sha256(&[i as u8]),
+                )
+            })
+            .collect();
+        let sig = Signature::local(vec![
+            SigEntry::new(deep.clone(), deep.clone()),
+            SigEntry::new(deep.clone(), deep),
+        ]);
+        let req = Request::Add {
+            sender: [0u8; 16],
+            sig_text: sig.to_string(),
+        };
+        let bytes = frame(&req.encode());
+        assert!(
+            bytes.len() > 1000 && bytes.len() < 8000,
+            "wire size {} out of plausible range",
+            bytes.len()
+        );
+    }
+}

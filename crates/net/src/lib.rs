@@ -1,0 +1,24 @@
+//! Network substrate for Communix: the wire protocol, a simulated network
+//! with NIC bandwidth modelling, and a real TCP transport.
+//!
+//! Two transports implement the same protocol:
+//!
+//! * [`SimNet`] — deterministic, virtual-time message passing where each
+//!   node's outgoing traffic serializes through a finite-bandwidth NIC.
+//!   This reproduces Figure 3's collapse: the server pushing
+//!   `(k+½)·N²·1.7 KB` per round through one NIC.
+//! * [`TcpServer`]/[`TcpClient`] — std::net blocking sockets with
+//!   length-prefixed frames, used end-to-end by the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod simnet;
+mod tcp;
+
+pub use codec::{
+    deframe, frame, CodecError, EncryptedId, Reply, Request, MAX_FRAME,
+};
+pub use simnet::{Delivery, NicConfig, NodeId, SimNet};
+pub use tcp::{ClientError, Handler, TcpClient, TcpServer};

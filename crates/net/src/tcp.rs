@@ -1,0 +1,322 @@
+//! A real TCP transport (std::net, thread-per-connection) for the
+//! Communix protocol, used by the end-to-end examples and the localhost
+//! variant of the Figure 3 benchmark.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::BytesMut;
+
+use crate::codec::{deframe, frame, CodecError, Reply, Request};
+
+/// A request handler: maps each request to a reply. Shared across
+/// connection threads.
+pub type Handler = Arc<dyn Fn(Request) -> Reply + Send + Sync>;
+
+/// A running TCP server for the Communix protocol.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and serves
+    /// `handler` on a thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, handler: Handler) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_threads = Vec::new();
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let handler = handler.clone();
+                        conn_threads.push(std::thread::spawn(move || {
+                            let _ = serve_connection(stream, handler);
+                        }));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for t in conn_threads {
+                let _ = t.join();
+            }
+        });
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, handler: Handler) -> io::Result<()> {
+    let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Drain complete frames.
+        loop {
+            match deframe(&mut buf) {
+                Ok(Some(payload)) => {
+                    let reply = match Request::decode(payload) {
+                        Ok(req) => handler(req),
+                        Err(e) => Reply::Error {
+                            message: format!("bad request: {e}"),
+                        },
+                    };
+                    stream.write_all(&frame(&reply.encode()))?;
+                }
+                Ok(None) => break,
+                Err(_) => return Ok(()), // protocol violation: drop
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // peer closed
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Error from a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Underlying socket failure.
+    Io(io::Error),
+    /// The server sent a malformed reply.
+    Codec(CodecError),
+    /// The connection closed before a reply arrived.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Codec(e) => write!(f, "codec error: {e}"),
+            ClientError::Disconnected => f.write_str("server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+/// A blocking TCP client for the Communix protocol.
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+impl TcpClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            stream,
+            buf: BytesMut::with_capacity(8 * 1024),
+        })
+    }
+
+    /// Sends a request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on socket or protocol failures.
+    pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        self.stream.write_all(&frame(&req.encode()))?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(payload) = deframe(&mut self.buf)? {
+                return Ok(Reply::decode(payload)?);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Disconnected);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn echo_server() -> TcpServer {
+        // A toy handler: GET(k) answers with k signatures "s0".."s(k-1)";
+        // ADD acks and remembers nothing.
+        let handler: Handler = Arc::new(|req| match req {
+            Request::Add { .. } => Reply::AddAck {
+                accepted: true,
+                reason: String::new(),
+            },
+            Request::Get { from } => Reply::Sigs {
+                from,
+                sigs: (0..from).map(|i| format!("s{i}")).collect(),
+            },
+            Request::IssueId { user } => Reply::Id {
+                id: [(user & 0xff) as u8; 16],
+            },
+        });
+        TcpServer::bind("127.0.0.1:0", handler).expect("bind")
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let server = echo_server();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        let reply = client
+            .call(&Request::Add {
+                sender: [1u8; 16],
+                sig_text: "sig".into(),
+            })
+            .unwrap();
+        assert_eq!(
+            reply,
+            Reply::AddAck {
+                accepted: true,
+                reason: String::new()
+            }
+        );
+        let reply = client.call(&Request::Get { from: 3 }).unwrap();
+        assert_eq!(
+            reply,
+            Reply::Sigs {
+                from: 3,
+                sigs: vec!["s0".into(), "s1".into(), "s2".into()]
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_sequential_calls_on_one_connection() {
+        let server = echo_server();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        for i in 0..20 {
+            let reply = client.call(&Request::Get { from: i }).unwrap();
+            match reply {
+                Reply::Sigs { from, sigs } => {
+                    assert_eq!(from, i);
+                    assert_eq!(sigs.len() as u64, i);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = echo_server();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = TcpClient::connect(addr).unwrap();
+                for i in 0..50 {
+                    let r = c.call(&Request::Get { from: i }).unwrap();
+                    assert!(matches!(r, Reply::Sigs { .. }));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn server_sees_every_add() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let handler: Handler = Arc::new(move |req| {
+            if let Request::Add { sig_text, .. } = &req {
+                seen2.lock().unwrap().push(sig_text.clone());
+            }
+            Reply::AddAck {
+                accepted: true,
+                reason: String::new(),
+            }
+        });
+        let server = TcpServer::bind("127.0.0.1:0", handler).unwrap();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        for i in 0..5 {
+            client
+                .call(&Request::Add {
+                    sender: [0u8; 16],
+                    sig_text: format!("sig-{i}"),
+                })
+                .unwrap();
+        }
+        assert_eq!(seen.lock().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server = echo_server();
+        server.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn issue_id_roundtrip() {
+        let server = echo_server();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        let reply = client.call(&Request::IssueId { user: 7 }).unwrap();
+        assert_eq!(reply, Reply::Id { id: [7u8; 16] });
+    }
+}

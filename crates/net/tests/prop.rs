@@ -1,0 +1,121 @@
+//! Property-based tests for the wire codec and the simulated network.
+
+use bytes::BytesMut;
+use communix_clock::Duration;
+use communix_net::{deframe, frame, NicConfig, NodeId, Reply, Request, SimNet};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<[u8; 16]>(), "[ -~]{0,400}").prop_map(|(sender, sig_text)| Request::Add {
+            sender,
+            sig_text,
+        }),
+        any::<u64>().prop_map(|from| Request::Get { from }),
+        any::<u64>().prop_map(|user| Request::IssueId { user }),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        (any::<bool>(), "[ -~]{0,80}").prop_map(|(accepted, reason)| Reply::AddAck {
+            accepted,
+            reason,
+        }),
+        (
+            any::<u64>(),
+            proptest::collection::vec("[ -~]{0,200}", 0..8)
+        )
+            .prop_map(|(from, sigs)| Reply::Sigs { from, sigs }),
+        any::<[u8; 16]>().prop_map(|id| Reply::Id { id }),
+        "[ -~]{0,120}".prop_map(|message| Reply::Error { message }),
+    ]
+}
+
+proptest! {
+    /// Request encode/decode round-trips.
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        prop_assert_eq!(Request::decode(req.encode()).unwrap(), req);
+    }
+
+    /// Reply encode/decode round-trips.
+    #[test]
+    fn reply_roundtrip(reply in arb_reply()) {
+        prop_assert_eq!(Reply::decode(reply.encode()).unwrap(), reply);
+    }
+
+    /// deframe(frame(x)) == x, and works under arbitrary fragmentation:
+    /// feeding the framed bytes in any chunking yields the same payload.
+    #[test]
+    fn framing_survives_fragmentation(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        cut in any::<usize>(),
+    ) {
+        let framed = frame(&bytes::Bytes::from(payload.clone()));
+        let cut = cut % (framed.len() + 1);
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&framed[..cut]);
+        // Possibly incomplete: deframe must not consume a partial frame.
+        match deframe(&mut buf).unwrap() {
+            Some(got) => {
+                prop_assert_eq!(cut, framed.len());
+                prop_assert_eq!(got.as_ref(), payload.as_slice());
+            }
+            None => {
+                buf.extend_from_slice(&framed[cut..]);
+                let got = deframe(&mut buf).unwrap().expect("complete now");
+                prop_assert_eq!(got.as_ref(), payload.as_slice());
+                prop_assert!(buf.is_empty());
+            }
+        }
+    }
+
+    /// Two frames back-to-back deframe in order.
+    #[test]
+    fn framing_preserves_order(
+        a in proptest::collection::vec(any::<u8>(), 0..100),
+        b in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&frame(&bytes::Bytes::from(a.clone())));
+        buf.extend_from_slice(&frame(&bytes::Bytes::from(b.clone())));
+        let first = deframe(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(first.as_ref(), a.as_slice());
+        let second = deframe(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(second.as_ref(), b.as_slice());
+        prop_assert!(deframe(&mut buf).unwrap().is_none());
+    }
+
+    /// Garbage never panics the decoders.
+    #[test]
+    fn decoders_never_panic(junk in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Request::decode(bytes::Bytes::from(junk.clone()));
+        let _ = Reply::decode(bytes::Bytes::from(junk));
+    }
+
+    /// SimNet invariants: per-sender sends depart in order, every
+    /// delivery arrives no earlier than latency, and draining yields
+    /// messages in non-decreasing arrival order.
+    #[test]
+    fn simnet_ordering(
+        msgs in proptest::collection::vec((0..4u64, 0..4u64, 1..2000usize), 1..20),
+        latency_ms in 0..20u64,
+    ) {
+        let mut net = SimNet::new(Duration::from_millis(latency_ms));
+        net.set_nic(NodeId(0), NicConfig { bandwidth_bps: 1_000_000.0 });
+        for (from, to, len) in &msgs {
+            net.send(NodeId(*from), NodeId(*to), vec![0u8; *len]);
+        }
+        let mut last = Duration::ZERO;
+        let mut count = 0;
+        while let Some(d) = net.next_delivery() {
+            prop_assert!(d.at >= last, "deliveries must be time-ordered");
+            prop_assert!(d.at >= Duration::from_millis(latency_ms));
+            last = d.at;
+            count += 1;
+        }
+        prop_assert_eq!(count, msgs.len());
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+}

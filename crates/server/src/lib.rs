@@ -1,0 +1,15 @@
+//! The Communix server: collects deadlock signatures from Dimmunix
+//! deployments and serves them back to clients (§III-B), with the
+//! server-side validation of §III-C2 (encrypted sender ids, adjacency
+//! rejection, 10-per-day rate limiting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod auth;
+mod db;
+mod server;
+
+pub use auth::IdAuthority;
+pub use db::SignatureDb;
+pub use server::{CommunixServer, RejectReason, ServerConfig, ServerStats};

@@ -1,0 +1,534 @@
+//! The Communix server: request handling and server-side validation.
+//!
+//! "The Communix server collects in a database all the deadlock
+//! signatures discovered by Java applications running with Dimmunix on
+//! arbitrary machines" (§III-B). Before adding an incoming signature it
+//! performs the server-side validation of §III-C2:
+//!
+//! 1. the signature must carry a valid encrypted sender id;
+//! 2. the same sender must not have previously sent an *adjacent*
+//!    signature (some but not all top frames in common);
+//! 3. at most 10 signatures per day are processed per sender (§III-C1).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use communix_clock::{Clock, Instant, DAY};
+use communix_dimmunix::Signature;
+use communix_net::{Reply, Request};
+use parking_lot::Mutex;
+
+use crate::auth::IdAuthority;
+use crate::db::SignatureDb;
+
+/// Why an ADD was rejected (mirrored into the wire reply's reason text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The encrypted id failed verification.
+    BadId,
+    /// The signature text did not parse.
+    Malformed,
+    /// The sender already sent an adjacent signature.
+    Adjacent,
+    /// The sender exhausted its daily budget.
+    RateLimited,
+}
+
+impl RejectReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::BadId => "invalid encrypted sender id",
+            RejectReason::Malformed => "malformed signature",
+            RejectReason::Adjacent => "adjacent signature from same sender",
+            RejectReason::RateLimited => "daily signature budget exhausted",
+        }
+    }
+}
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum signatures processed per sender per day (paper: 10).
+    pub daily_limit: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { daily_limit: 10 }
+    }
+}
+
+/// Aggregate server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// ADD requests accepted (newly stored).
+    pub adds_accepted: u64,
+    /// ADD requests that were exact duplicates (acked, not re-stored).
+    pub adds_duplicate: u64,
+    /// ADD requests rejected by validation.
+    pub adds_rejected: u64,
+    /// GET requests served.
+    pub gets: u64,
+    /// Signature texts shipped in GET replies.
+    pub sigs_served: u64,
+    /// Ids issued.
+    pub ids_issued: u64,
+}
+
+#[derive(Debug, Default)]
+struct UserState {
+    /// Signatures previously accepted from this sender (for adjacency).
+    accepted: Vec<Signature>,
+    /// Times of processed ADDs within the trailing day (rate limiting).
+    processed: VecDeque<Instant>,
+}
+
+/// The Communix server. Thread-safe: [`CommunixServer::handle`] may be
+/// called concurrently from any number of threads (Figure 2 does exactly
+/// that).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use communix_clock::SystemClock;
+/// use communix_net::{Reply, Request};
+/// use communix_server::{CommunixServer, IdAuthority, ServerConfig};
+///
+/// let server = CommunixServer::new(ServerConfig::default(), Arc::new(SystemClock::new()));
+/// let id = server.authority().issue(1);
+/// match server.handle(Request::Get { from: 0 }) {
+///     Reply::Sigs { sigs, .. } => assert!(sigs.is_empty()),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// # let _ = id;
+/// ```
+#[derive(Debug)]
+pub struct CommunixServer {
+    config: ServerConfig,
+    db: SignatureDb,
+    authority: IdAuthority,
+    users: Mutex<HashMap<u64, UserState>>,
+    clock: Arc<dyn Clock>,
+    stats: Mutex<ServerStats>,
+}
+
+impl CommunixServer {
+    /// Creates a server with the default id authority key.
+    pub fn new(config: ServerConfig, clock: Arc<dyn Clock>) -> Self {
+        CommunixServer {
+            config,
+            db: SignatureDb::new(),
+            authority: IdAuthority::default(),
+            users: Mutex::new(HashMap::new()),
+            clock,
+            stats: Mutex::new(ServerStats::default()),
+        }
+    }
+
+    /// The id authority (examples use it to mint client ids, standing in
+    /// for the paper's assumed issuance service).
+    pub fn authority(&self) -> &IdAuthority {
+        &self.authority
+    }
+
+    /// The signature database.
+    pub fn db(&self) -> &SignatureDb {
+        &self.db
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        *self.stats.lock()
+    }
+
+    /// Processes one request — the "request processing routine" Figure 2
+    /// invokes from up to 100,000 simultaneous threads.
+    pub fn handle(&self, request: Request) -> Reply {
+        match request {
+            Request::Add { sender, sig_text } => self.handle_add(&sender, &sig_text),
+            Request::Get { from } => self.handle_get(from),
+            Request::IssueId { user } => {
+                self.stats.lock().ids_issued += 1;
+                Reply::Id {
+                    id: self.authority.issue(user),
+                }
+            }
+        }
+    }
+
+    fn handle_add(&self, sender: &[u8; 16], sig_text: &str) -> Reply {
+        // Check 1: the encrypted id must verify (§III-C2).
+        let Some(user) = self.authority.verify(sender) else {
+            return self.reject(RejectReason::BadId);
+        };
+
+        // The signature must parse (a malformed signature cannot be
+        // validated, stored, or served).
+        let Ok(sig) = sig_text.parse::<Signature>() else {
+            return self.reject(RejectReason::Malformed);
+        };
+
+        let now = self.clock.now();
+        let mut users = self.users.lock();
+        let state = users.entry(user).or_default();
+
+        // Check 3 (§III-C1): at most `daily_limit` signatures processed
+        // per user per trailing day.
+        while let Some(front) = state.processed.front() {
+            if now.saturating_duration_since(*front) > DAY {
+                state.processed.pop_front();
+            } else {
+                break;
+            }
+        }
+        if state.processed.len() >= self.config.daily_limit {
+            return self.reject(RejectReason::RateLimited);
+        }
+        state.processed.push_back(now);
+
+        // Check 2 (§III-C2): no adjacent signature from the same sender.
+        if state.accepted.iter().any(|s| s.adjacent_to(&sig)) {
+            return self.reject(RejectReason::Adjacent);
+        }
+
+        let (_, added) = self.db.add(sig_text);
+        let mut stats = self.stats.lock();
+        if added {
+            state.accepted.push(sig);
+            stats.adds_accepted += 1;
+            Reply::AddAck {
+                accepted: true,
+                reason: String::new(),
+            }
+        } else {
+            stats.adds_duplicate += 1;
+            Reply::AddAck {
+                accepted: true,
+                reason: "duplicate".into(),
+            }
+        }
+    }
+
+    fn handle_get(&self, from: u64) -> Reply {
+        let sigs = self.db.get_from(from as usize);
+        let mut stats = self.stats.lock();
+        stats.gets += 1;
+        stats.sigs_served += sigs.len() as u64;
+        Reply::Sigs { from, sigs }
+    }
+
+    /// Processes a GET as a pure database walk, without materializing a
+    /// reply buffer: returns the `(count, bytes)` a real reply would
+    /// ship. This isolates the server-side computation Figure 2 measures
+    /// ("iterating through the entire database"); the end-to-end path
+    /// with materialized replies is what Figure 3 measures.
+    pub fn handle_get_scan(&self, from: u64) -> (usize, usize) {
+        let r = self.db.scan_from(from as usize);
+        let mut stats = self.stats.lock();
+        stats.gets += 1;
+        stats.sigs_served += r.0 as u64;
+        r
+    }
+
+    fn reject(&self, reason: RejectReason) -> Reply {
+        self.stats.lock().adds_rejected += 1;
+        Reply::AddAck {
+            accepted: false,
+            reason: reason.as_str().into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_clock::VirtualClock;
+    use communix_dimmunix::{CallStack, Frame, SigEntry};
+
+    fn server() -> (CommunixServer, Arc<VirtualClock>) {
+        let clock = Arc::new(VirtualClock::new());
+        (
+            CommunixServer::new(ServerConfig::default(), clock.clone()),
+            clock,
+        )
+    }
+
+    fn cs(frames: &[(&str, u32)]) -> CallStack {
+        frames
+            .iter()
+            .map(|(m, l)| Frame::new("app.C", *m, *l))
+            .collect()
+    }
+
+    /// A depth-6, two-entry signature parameterized by `tag` (distinct
+    /// tags ⇒ fully disjoint top frames).
+    fn sig(tag: u32) -> Signature {
+        let deep =
+            |base: u32| -> Vec<(String, u32)> {
+                (0..6).map(|i| ("f".to_string(), base + i)).collect()
+            };
+        let mk = |base: u32| -> CallStack {
+            deep(base)
+                .iter()
+                .map(|(m, l)| Frame::new("app.C", m.as_str(), *l))
+                .collect()
+        };
+        Signature::local(vec![
+            SigEntry::new(mk(tag * 1000), cs(&[("in1", tag * 1000 + 500)])),
+            SigEntry::new(mk(tag * 1000 + 100), cs(&[("in2", tag * 1000 + 600)])),
+        ])
+    }
+
+    fn add(server: &CommunixServer, user: u64, s: &Signature) -> Reply {
+        let id = server.authority().issue(user);
+        server.handle(Request::Add {
+            sender: id,
+            sig_text: s.to_string(),
+        })
+    }
+
+    #[test]
+    fn valid_add_then_get() {
+        let (srv, _) = server();
+        let r = add(&srv, 1, &sig(1));
+        assert_eq!(
+            r,
+            Reply::AddAck {
+                accepted: true,
+                reason: String::new()
+            }
+        );
+        match srv.handle(Request::Get { from: 0 }) {
+            Reply::Sigs { from, sigs } => {
+                assert_eq!(from, 0);
+                assert_eq!(sigs.len(), 1);
+                assert_eq!(sigs[0].parse::<Signature>().unwrap(), sig(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_id_rejected() {
+        let (srv, _) = server();
+        let r = srv.handle(Request::Add {
+            sender: [0xAB; 16],
+            sig_text: sig(1).to_string(),
+        });
+        assert_eq!(
+            r,
+            Reply::AddAck {
+                accepted: false,
+                reason: "invalid encrypted sender id".into()
+            }
+        );
+        assert!(srv.db().is_empty());
+    }
+
+    #[test]
+    fn malformed_signature_rejected() {
+        let (srv, _) = server();
+        let id = srv.authority().issue(1);
+        let r = srv.handle(Request::Add {
+            sender: id,
+            sig_text: "not a signature".into(),
+        });
+        assert!(matches!(r, Reply::AddAck { accepted: false, .. }));
+    }
+
+    #[test]
+    fn adjacent_from_same_user_rejected() {
+        let (srv, _) = server();
+        assert!(matches!(
+            add(&srv, 1, &sig(1)),
+            Reply::AddAck { accepted: true, .. }
+        ));
+        // Adjacent: shares entry 0's top frames with sig(1), differs in
+        // entry 1.
+        let adjacent = Signature::local(vec![
+            sig(1).entries()[0].clone(),
+            SigEntry::new(cs(&[("other", 77)]), cs(&[("otherIn", 78)])),
+        ]);
+        let r = add(&srv, 1, &adjacent);
+        assert_eq!(
+            r,
+            Reply::AddAck {
+                accepted: false,
+                reason: "adjacent signature from same sender".into()
+            }
+        );
+    }
+
+    #[test]
+    fn adjacent_from_other_user_accepted() {
+        // "the signatures wrongly rejected due to this restriction can be
+        // provided by other users."
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1));
+        let adjacent = Signature::local(vec![
+            sig(1).entries()[0].clone(),
+            SigEntry::new(cs(&[("other", 77)]), cs(&[("otherIn", 78)])),
+        ]);
+        let r = add(&srv, 2, &adjacent);
+        assert!(matches!(r, Reply::AddAck { accepted: true, .. }));
+        assert_eq!(srv.db().len(), 2);
+    }
+
+    #[test]
+    fn same_bug_resent_is_not_adjacent() {
+        // Identical top frames (a deeper manifestation of the same bug)
+        // must pass the adjacency check.
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1));
+        let mut deeper_entries = Vec::new();
+        for e in sig(1).entries() {
+            let mut outer = e.outer.clone();
+            outer
+                .frames_mut()
+                .insert(0, Frame::new("app.D", "extra", 9999));
+            deeper_entries.push(SigEntry::new(outer, e.inner.clone()));
+        }
+        let deeper = Signature::local(deeper_entries);
+        let r = add(&srv, 1, &deeper);
+        assert!(matches!(r, Reply::AddAck { accepted: true, .. }));
+    }
+
+    #[test]
+    fn rate_limit_enforced_per_day() {
+        let (srv, clock) = server();
+        for i in 0..10 {
+            let r = add(&srv, 1, &sig(10 + i));
+            assert!(matches!(r, Reply::AddAck { accepted: true, .. }), "i={i}");
+        }
+        // The 11th within the same day is ignored.
+        let r = add(&srv, 1, &sig(99));
+        assert_eq!(
+            r,
+            Reply::AddAck {
+                accepted: false,
+                reason: "daily signature budget exhausted".into()
+            }
+        );
+        // Another user is unaffected.
+        assert!(matches!(
+            add(&srv, 2, &sig(98)),
+            Reply::AddAck { accepted: true, .. }
+        ));
+        // After a day passes, the budget refreshes.
+        clock.advance(DAY + communix_clock::Duration::from_secs(1));
+        assert!(matches!(
+            add(&srv, 1, &sig(97)),
+            Reply::AddAck { accepted: true, .. }
+        ));
+    }
+
+    #[test]
+    fn rejected_attempts_still_consume_budget() {
+        // "The server processes only up to 10 signatures per day" —
+        // processing includes validation, so adjacency rejects count.
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1));
+        let adjacent = Signature::local(vec![
+            sig(1).entries()[0].clone(),
+            SigEntry::new(cs(&[("other", 77)]), cs(&[("otherIn", 78)])),
+        ]);
+        for _ in 0..9 {
+            add(&srv, 1, &adjacent);
+        }
+        // Ten ADDs processed; the next is rate-limited even though it is
+        // a perfectly valid, fresh signature.
+        let r = add(&srv, 1, &sig(50));
+        assert_eq!(
+            r,
+            Reply::AddAck {
+                accepted: false,
+                reason: "daily signature budget exhausted".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1));
+        let r = add(&srv, 2, &sig(1));
+        assert_eq!(
+            r,
+            Reply::AddAck {
+                accepted: true,
+                reason: "duplicate".into()
+            }
+        );
+        assert_eq!(srv.db().len(), 1);
+    }
+
+    #[test]
+    fn incremental_get() {
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1));
+        add(&srv, 1, &sig(2));
+        add(&srv, 1, &sig(3));
+        match srv.handle(Request::Get { from: 1 }) {
+            Reply::Sigs { from, sigs } => {
+                assert_eq!(from, 1);
+                assert_eq!(sigs.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn issue_id_request() {
+        let (srv, _) = server();
+        match srv.handle(Request::IssueId { user: 5 }) {
+            Reply::Id { id } => assert_eq!(srv.authority().verify(&id), Some(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1));
+        add(&srv, 2, &sig(1)); // duplicate
+        srv.handle(Request::Add {
+            sender: [0u8; 16],
+            sig_text: sig(2).to_string(),
+        }); // bad id
+        srv.handle(Request::Get { from: 0 });
+        let s = srv.stats();
+        assert_eq!(s.adds_accepted, 1);
+        assert_eq!(s.adds_duplicate, 1);
+        assert_eq!(s.adds_rejected, 1);
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.sigs_served, 1);
+    }
+
+    #[test]
+    fn concurrent_mixed_load() {
+        let (srv, _) = server();
+        let srv = Arc::new(srv);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let srv = srv.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10u32 {
+                    let s = sig(100 + (t as u32) * 10 + i);
+                    let id = srv.authority().issue(t);
+                    srv.handle(Request::Add {
+                        sender: id,
+                        sig_text: s.to_string(),
+                    });
+                    srv.handle(Request::Get { from: 0 });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 8 users × 10 sigs, all within daily budget.
+        assert_eq!(srv.db().len(), 80);
+    }
+}

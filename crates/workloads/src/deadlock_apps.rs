@@ -1,0 +1,563 @@
+//! Deadlock-prone synthetic applications.
+//!
+//! Three shapes cover everything the evaluation needs:
+//!
+//! * [`DeadlockApp`] — the canonical two-lock inversion (thread 1 takes
+//!   A then B, thread 2 takes B then A), with a configurable call-chain
+//!   depth so the extracted signatures have realistic outer stacks
+//!   (the agent requires depth ≥ 5 for remote signatures);
+//! * [`MultiBugApp`] — `n` independent two-lock inversions, modelling the
+//!   paper's Eclipse-plugin scenario ("if the plugin has multiple deadlock
+//!   bugs, each user has to encounter all these deadlocks");
+//! * [`ManifestationApp`] — one deadlock bug reachable through `m`
+//!   distinct caller chains, producing `m` different signatures of the
+//!   same bug (the generalization workload of §III-D).
+//!
+//! Every app exposes the [`ThreadSpec`]s that deterministically drive the
+//! simulator into the deadlock interleaving (and, once a signature is in
+//! the history, into the avoidance path instead).
+
+use communix_bytecode::{ClassBuilder, LockExpr, LoweredProgram, Program, ProgramBuilder, StmtSink};
+use communix_runtime::ThreadSpec;
+
+/// Work ticks inside the outer critical section before the inner
+/// acquisition — long enough that both threads hold their first lock
+/// before either requests its second.
+const HOLD_TICKS: u32 = 5;
+
+/// Appends the call chain `entry -> {entry}_link0 -> … -> leaf` to `cb`,
+/// all in the same class. `depth` is the number of *links* between entry
+/// and leaf (0 ⇒ entry calls leaf directly); `leaf_body` fills the leaf.
+fn chain<'p>(
+    mut cb: ClassBuilder<'p>,
+    class: &str,
+    entry: &str,
+    leaf: &str,
+    depth: usize,
+    leaf_body: impl FnOnce(&mut StmtSink<'_>),
+) -> ClassBuilder<'p> {
+    let link_name = |i: usize| format!("{entry}_link{i}");
+    let first_callee = if depth == 0 {
+        leaf.to_string()
+    } else {
+        link_name(0)
+    };
+    cb = cb.plain_method(entry, |s| {
+        s.call(class, &first_callee);
+    });
+    for i in 0..depth {
+        let callee = if i + 1 == depth {
+            leaf.to_string()
+        } else {
+            link_name(i + 1)
+        };
+        cb = cb.plain_method(&link_name(i), |s| {
+            s.call(class, &callee);
+        });
+    }
+    cb.plain_method(leaf, leaf_body)
+}
+
+/// Fills a leaf with `sync(first) { work; sync(second) { work } }`.
+fn inversion_leaf(
+    first: String,
+    second: String,
+) -> impl FnOnce(&mut StmtSink<'_>) {
+    move |s| {
+        s.sync(LockExpr::global(first), |s| {
+            s.work(HOLD_TICKS).sync(LockExpr::global(second), |s| {
+                s.work(1);
+            });
+        });
+    }
+}
+
+/// The canonical two-lock inversion application.
+///
+/// Two entry points, [`DeadlockApp::first`] and [`DeadlockApp::second`],
+/// acquire the same two locks in opposite orders. Run unprotected, the
+/// pair deadlocks; run with the deadlock's signature in the history,
+/// Dimmunix serializes them.
+///
+/// # Example
+///
+/// ```
+/// use communix_runtime::{SimConfig, Simulator};
+/// use communix_dimmunix::DimmunixConfig;
+/// use communix_workloads::DeadlockApp;
+///
+/// let app = DeadlockApp::new(4);
+/// let mut sim = Simulator::new(app.lowered(), DimmunixConfig::default(), SimConfig::default());
+/// let outcome = sim.run(&app.deadlock_specs());
+/// assert_eq!(outcome.deadlocks.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeadlockApp {
+    program: Program,
+    chain_depth: usize,
+}
+
+impl DeadlockApp {
+    /// The class holding all of the app's code.
+    pub const CLASS: &'static str = "app.inversion.Worker";
+
+    /// Creates the app with call chains of `chain_depth` links between
+    /// the entry points and the locking methods. The outer call stacks of
+    /// the resulting deadlock signatures have depth `chain_depth + 2`
+    /// (entry frame, link frames, sync site) — pass ≥ 3 to clear the
+    /// agent's depth-5 rule.
+    pub fn new(chain_depth: usize) -> Self {
+        let mut b = ProgramBuilder::new();
+        let cb = b.class(Self::CLASS);
+        let cb = chain(
+            cb,
+            Self::CLASS,
+            "first",
+            "lockAB",
+            chain_depth,
+            inversion_leaf("app.inversion.A".into(), "app.inversion.B".into()),
+        );
+        let cb = chain(
+            cb,
+            Self::CLASS,
+            "second",
+            "lockBA",
+            chain_depth,
+            inversion_leaf("app.inversion.B".into(), "app.inversion.A".into()),
+        );
+        cb.done();
+        DeadlockApp {
+            program: b.build(),
+            chain_depth,
+        }
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The lowered program (convenience for building simulators).
+    pub fn lowered(&self) -> LoweredProgram {
+        LoweredProgram::lower(&self.program)
+    }
+
+    /// The configured chain depth.
+    pub fn chain_depth(&self) -> usize {
+        self.chain_depth
+    }
+
+    /// A spec running the A-then-B entry.
+    pub fn first(&self, instance: u64) -> ThreadSpec {
+        ThreadSpec::new(Self::CLASS, "first", instance)
+    }
+
+    /// A spec running the B-then-A entry.
+    pub fn second(&self, instance: u64) -> ThreadSpec {
+        ThreadSpec::new(Self::CLASS, "second", instance)
+    }
+
+    /// The two-thread workload that deadlocks when unprotected.
+    pub fn deadlock_specs(&self) -> Vec<ThreadSpec> {
+        vec![self.first(1), self.second(2)]
+    }
+}
+
+/// An application with `n` independent deadlock bugs.
+///
+/// Bug `i` inverts locks `A{i}`/`B{i}`; its entries are
+/// [`MultiBugApp::first`]`(i)` and [`MultiBugApp::second`]`(i)`. Each bug
+/// produces a distinct signature, so full protection requires all `n`
+/// signatures — the scenario Communix accelerates by pooling discoveries
+/// across users.
+#[derive(Debug, Clone)]
+pub struct MultiBugApp {
+    program: Program,
+    bugs: usize,
+    chain_depth: usize,
+}
+
+impl MultiBugApp {
+    /// Class prefix; bug `i` lives in `app.plugin.Feature{i}`.
+    pub const CLASS_PREFIX: &'static str = "app.plugin.Feature";
+
+    /// Creates an app with `bugs` independent inversions, each behind a
+    /// `chain_depth`-link call chain.
+    pub fn new(bugs: usize, chain_depth: usize) -> Self {
+        let mut b = ProgramBuilder::new();
+        for i in 0..bugs {
+            let class = format!("{}{i}", Self::CLASS_PREFIX);
+            let lock_a = format!("app.plugin.A{i}");
+            let lock_b = format!("app.plugin.B{i}");
+            let cb = b.class(&class);
+            let cb = chain(
+                cb,
+                &class,
+                "first",
+                "lockAB",
+                chain_depth,
+                inversion_leaf(lock_a.clone(), lock_b.clone()),
+            );
+            let cb = chain(
+                cb,
+                &class,
+                "second",
+                "lockBA",
+                chain_depth,
+                inversion_leaf(lock_b, lock_a),
+            );
+            cb.done();
+        }
+        MultiBugApp {
+            program: b.build(),
+            bugs,
+            chain_depth,
+        }
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The lowered program.
+    pub fn lowered(&self) -> LoweredProgram {
+        LoweredProgram::lower(&self.program)
+    }
+
+    /// Number of independent bugs.
+    pub fn bugs(&self) -> usize {
+        self.bugs
+    }
+
+    /// The configured chain depth.
+    pub fn chain_depth(&self) -> usize {
+        self.chain_depth
+    }
+
+    /// The A-then-B entry of bug `bug`.
+    pub fn first(&self, bug: usize, instance: u64) -> ThreadSpec {
+        ThreadSpec::new(&format!("{}{bug}", Self::CLASS_PREFIX), "first", instance)
+    }
+
+    /// The B-then-A entry of bug `bug`.
+    pub fn second(&self, bug: usize, instance: u64) -> ThreadSpec {
+        ThreadSpec::new(&format!("{}{bug}", Self::CLASS_PREFIX), "second", instance)
+    }
+
+    /// The two-thread workload triggering bug `bug`.
+    pub fn deadlock_specs(&self, bug: usize) -> Vec<ThreadSpec> {
+        vec![self.first(bug, 1), self.second(bug, 2)]
+    }
+}
+
+/// One deadlock bug reachable through `m` distinct caller chains.
+///
+/// Every path `k` enters the same inversion through its own entry
+/// `path{k}`, then a *shared* chain of `shared_depth` links. Each path
+/// therefore yields a different signature of the same bug; their
+/// generalization (§III-D) is the shared suffix, of outer depth
+/// `shared_depth + 2`.
+#[derive(Debug, Clone)]
+pub struct ManifestationApp {
+    program: Program,
+    paths: usize,
+    shared_depth: usize,
+}
+
+impl ManifestationApp {
+    /// The class holding the shared chain and the inversion.
+    pub const CLASS: &'static str = "app.multipath.Service";
+
+    /// The class holding the per-path entries.
+    pub const PATHS_CLASS: &'static str = "app.multipath.Paths";
+
+    /// Creates an app with `paths` caller chains converging on a shared
+    /// chain of `shared_depth` links before the inversion. Pass
+    /// `shared_depth ≥ 3` so the generalized signature keeps outer depth
+    /// ≥ 5 and remote merges stay legal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is zero.
+    pub fn new(paths: usize, shared_depth: usize) -> Self {
+        assert!(paths >= 1, "need at least one path");
+        let mut b = ProgramBuilder::new();
+        // The shared tail and the opposite-order thread, in one class.
+        let cb = b.class(Self::CLASS);
+        let cb = chain(
+            cb,
+            Self::CLASS,
+            "sharedEntry",
+            "lockAB",
+            shared_depth,
+            inversion_leaf("app.multipath.A".into(), "app.multipath.B".into()),
+        );
+        let cb = chain(
+            cb,
+            Self::CLASS,
+            "opposite",
+            "lockBA",
+            shared_depth,
+            inversion_leaf("app.multipath.B".into(), "app.multipath.A".into()),
+        );
+        cb.done();
+        // Per-path entries calling the shared tail.
+        {
+            let mut cb = b.class(Self::PATHS_CLASS);
+            for k in 0..paths {
+                cb = cb.plain_method(&format!("path{k}"), |s| {
+                    s.work(1).call(Self::CLASS, "sharedEntry");
+                });
+            }
+            cb.done();
+        }
+        ManifestationApp {
+            program: b.build(),
+            paths,
+            shared_depth,
+        }
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The lowered program.
+    pub fn lowered(&self) -> LoweredProgram {
+        LoweredProgram::lower(&self.program)
+    }
+
+    /// Number of distinct caller chains to the bug.
+    pub fn paths(&self) -> usize {
+        self.paths
+    }
+
+    /// Depth of the shared chain (links).
+    pub fn shared_depth(&self) -> usize {
+        self.shared_depth
+    }
+
+    /// A spec entering the inversion through path `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn via_path(&self, k: usize, instance: u64) -> ThreadSpec {
+        assert!(k < self.paths, "path {k} out of range");
+        ThreadSpec::new(Self::PATHS_CLASS, &format!("path{k}"), instance)
+    }
+
+    /// The opposite-order thread.
+    pub fn opposite(&self, instance: u64) -> ThreadSpec {
+        ThreadSpec::new(Self::CLASS, "opposite", instance)
+    }
+
+    /// The two-thread workload triggering manifestation `k`.
+    pub fn deadlock_specs(&self, k: usize) -> Vec<ThreadSpec> {
+        vec![self.via_path(k, 1), self.opposite(2)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_dimmunix::{DimmunixConfig, History, SigOrigin};
+    use communix_runtime::{SimConfig, Simulator};
+
+    fn sim_for(app: &DeadlockApp) -> Simulator {
+        Simulator::new(app.lowered(), DimmunixConfig::default(), SimConfig::default())
+    }
+
+    #[test]
+    fn two_lock_app_deadlocks_unprotected() {
+        let app = DeadlockApp::new(3);
+        let mut sim = sim_for(&app);
+        let outcome = sim.run(&app.deadlock_specs());
+        assert_eq!(outcome.deadlocks.len(), 1);
+        assert_eq!(outcome.victim_count(), 1);
+        assert_eq!(sim.history().len(), 1);
+    }
+
+    #[test]
+    fn signature_depth_tracks_chain_depth() {
+        for depth in [0usize, 3, 6] {
+            let app = DeadlockApp::new(depth);
+            let mut sim = sim_for(&app);
+            let outcome = sim.run(&app.deadlock_specs());
+            let sig = &outcome.deadlocks[0];
+            assert_eq!(
+                sig.min_outer_depth(),
+                depth + 2,
+                "chain depth {depth} should give outer depth {}",
+                depth + 2
+            );
+        }
+    }
+
+    #[test]
+    fn second_run_avoids_the_deadlock() {
+        let app = DeadlockApp::new(3);
+        let mut sim = sim_for(&app);
+        let first = sim.run(&app.deadlock_specs());
+        assert_eq!(first.deadlocks.len(), 1);
+        // Same simulator: history persists across runs, like restarting a
+        // Dimmunix-protected application.
+        let second = sim.run(&app.deadlock_specs());
+        assert!(second.deadlocks.is_empty(), "avoidance must kick in");
+        assert!(second.all_finished());
+        assert!(second.stats.suspensions > 0, "threads were serialized");
+    }
+
+    #[test]
+    fn remote_signature_protects_fresh_node() {
+        // The Communix value proposition: a node that never deadlocked is
+        // protected by someone else's signature.
+        let app = DeadlockApp::new(3);
+        let sig = {
+            let mut sim = sim_for(&app);
+            sim.run(&app.deadlock_specs()).deadlocks[0]
+                .clone()
+                .with_origin(SigOrigin::Remote)
+        };
+        let mut history = History::new();
+        history.add(sig);
+        let mut fresh = Simulator::with_history(
+            app.lowered(),
+            DimmunixConfig::default(),
+            SimConfig::default(),
+            history,
+        );
+        let outcome = fresh.run(&app.deadlock_specs());
+        assert!(outcome.deadlocks.is_empty());
+        assert!(outcome.all_finished());
+    }
+
+    #[test]
+    fn multi_bug_app_has_independent_bugs() {
+        let app = MultiBugApp::new(3, 3);
+        let mut sim = Simulator::new(
+            app.lowered(),
+            DimmunixConfig::default(),
+            SimConfig::default(),
+        );
+        // Trigger bugs 0 and 2; bug 1 untouched.
+        let o0 = sim.run(&app.deadlock_specs(0));
+        assert_eq!(o0.deadlocks.len(), 1);
+        let o2 = sim.run(&app.deadlock_specs(2));
+        assert_eq!(o2.deadlocks.len(), 1);
+        assert_eq!(sim.history().len(), 2);
+        // The two signatures denote different bugs.
+        let sigs = sim.history().signatures();
+        assert!(!sigs[0].same_bug(&sigs[1]));
+        // Bug 1 still deadlocks: its signature is not in the history.
+        let o1 = sim.run(&app.deadlock_specs(1));
+        assert_eq!(o1.deadlocks.len(), 1);
+    }
+
+    #[test]
+    fn manifestations_are_same_bug_different_stacks() {
+        let app = ManifestationApp::new(3, 3);
+        let mut sim = Simulator::new(
+            app.lowered(),
+            // Detection only: let every manifestation actually deadlock.
+            DimmunixConfig::detection_only(),
+            SimConfig::default(),
+        );
+        let mut sigs = Vec::new();
+        for k in 0..3 {
+            let o = sim.run(&app.deadlock_specs(k));
+            assert_eq!(o.deadlocks.len(), 1, "path {k} must deadlock");
+            sigs.push(o.deadlocks[0].clone());
+        }
+        assert!(sigs[0].same_bug(&sigs[1]));
+        assert!(sigs[1].same_bug(&sigs[2]));
+        assert_ne!(sigs[0].entries(), sigs[1].entries(), "stacks differ");
+        // Their pairwise merge is the shared suffix: depth shared_depth+2.
+        let merged = sigs[0].merge(&sigs[1], 0).expect("same bug merges");
+        assert_eq!(merged.min_outer_depth(), 3 + 2);
+    }
+
+    #[test]
+    fn generalized_signature_covers_unseen_manifestation() {
+        let app = ManifestationApp::new(3, 3);
+        // Learn manifestations 0 and 1, generalize, then face path 2.
+        let mut sim = Simulator::new(
+            app.lowered(),
+            DimmunixConfig::detection_only(),
+            SimConfig::default(),
+        );
+        let s0 = sim.run(&app.deadlock_specs(0)).deadlocks[0].clone();
+        let s1 = sim.run(&app.deadlock_specs(1)).deadlocks[0].clone();
+        let merged = s0.merge(&s1, 0).expect("merge");
+        let mut history = History::new();
+        history.add(merged);
+        let mut protected = Simulator::with_history(
+            app.lowered(),
+            DimmunixConfig::default(),
+            SimConfig::default(),
+            history,
+        );
+        let o = protected.run(&app.deadlock_specs(2));
+        assert!(
+            o.deadlocks.is_empty(),
+            "generalized signature must cover the unseen path"
+        );
+        assert!(o.all_finished());
+    }
+
+    #[test]
+    fn ungeneralized_signature_misses_other_manifestation() {
+        // The motivation for §III-D: a single manifestation's signature
+        // (deep outer stacks) does NOT protect against a different path.
+        let app = ManifestationApp::new(2, 3);
+        let mut sim = Simulator::new(
+            app.lowered(),
+            DimmunixConfig::detection_only(),
+            SimConfig::default(),
+        );
+        let s0 = sim.run(&app.deadlock_specs(0)).deadlocks[0].clone();
+        let mut history = History::new();
+        history.add(s0);
+        let mut protected = Simulator::with_history(
+            app.lowered(),
+            DimmunixConfig::default(),
+            SimConfig::default(),
+            history,
+        );
+        let o = protected.run(&app.deadlock_specs(1));
+        assert_eq!(
+            o.deadlocks.len(),
+            1,
+            "path-0 signature must not match path 1 (false negative)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one path")]
+    fn manifestation_app_requires_paths() {
+        let _ = ManifestationApp::new(0, 3);
+    }
+
+    #[test]
+    fn chain_depth_zero_is_direct_call() {
+        let app = DeadlockApp::new(0);
+        let mut sim = sim_for(&app);
+        let o = sim.run(&app.deadlock_specs());
+        assert_eq!(o.deadlocks.len(), 1);
+        assert_eq!(o.deadlocks[0].min_outer_depth(), 2);
+    }
+
+    #[test]
+    fn apps_expose_consistent_programs() {
+        let app = MultiBugApp::new(2, 1);
+        assert_eq!(app.program().len(), 2);
+        assert_eq!(app.bugs(), 2);
+        assert_eq!(app.chain_depth(), 1);
+        let m = ManifestationApp::new(2, 1);
+        assert_eq!(m.paths(), 2);
+        assert_eq!(m.shared_depth(), 1);
+        assert!(m.program().class(ManifestationApp::PATHS_CLASS).is_some());
+    }
+}

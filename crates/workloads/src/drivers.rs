@@ -1,0 +1,549 @@
+//! Table II workload drivers.
+//!
+//! The paper measures the worst-case DoS overhead on five application /
+//! benchmark pairs (RUBiS on JBoss, JDBCBench on MySQL-JDBC, Eclipse
+//! start/stop, a Limewire upload test, Vuze start/stop). What determines
+//! the overhead is not application semantics but the *lock topology* of
+//! the workload: how much of the critical path runs inside nested
+//! synchronized sections, how many worker threads overlap them, and
+//! through how many distinct call paths the sections are reached.
+//!
+//! [`DriverProfile`] captures exactly those parameters; [`DriverApp`]
+//! realizes a profile as a runnable program:
+//!
+//! * `sections` nested critical sections, each with two call paths — a
+//!   five-deep *service* path (`svc → ctrl → biz → dao → sect`) that the
+//!   depth-5 attack signatures cover, and a shallower *alt* path that
+//!   only depth-1 signatures can match;
+//! * `workers` phase-shifted worker threads cycling through the sections
+//!   (each starts at a different section, so an unattacked run has almost
+//!   no lock contention — the paper's parallel critical path);
+//! * `cold_sections` extra nested sections never executed, the target of
+//!   the off-critical-path control (paper: < 2% overhead).
+
+use communix_bytecode::{
+    ClassName, LockExpr, LoweredProgram, Program, ProgramBuilder, Stmt, SyncSite,
+};
+use communix_dimmunix::{CallStack, DimmunixConfig, Frame, History};
+use communix_runtime::{SimConfig, SimOutcome, Simulator, ThreadSpec};
+
+/// One Table II workload: an application profile plus its benchmark's
+/// lock-topology parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverProfile {
+    /// Application name (Table II column 1).
+    pub app: &'static str,
+    /// Benchmark / test name (Table II column 2).
+    pub benchmark: &'static str,
+    /// Concurrent worker threads.
+    pub workers: usize,
+    /// Section-cycle iterations per worker.
+    pub iterations: u32,
+    /// Hot nested sections on the critical path.
+    pub sections: usize,
+    /// Cold nested sections (never executed).
+    pub cold_sections: usize,
+    /// Work ticks inside the outer lock, before the inner acquisition.
+    pub section_work: u32,
+    /// Work ticks inside the inner lock.
+    pub inner_work: u32,
+    /// Work ticks between sections (outside any lock).
+    pub outside_work: u32,
+    /// The worst-case overhead Table II reports for this row (percent).
+    pub paper_overhead_pct: u32,
+}
+
+/// RUBiS on JBoss: request processing dominated by nested locking.
+pub const RUBIS_JBOSS: DriverProfile = DriverProfile {
+    app: "JBoss",
+    benchmark: "RUBiS",
+    workers: 8,
+    iterations: 40,
+    sections: 6,
+    cold_sections: 2,
+    section_work: 4,
+    inner_work: 2,
+    outside_work: 3,
+    paper_overhead_pct: 40,
+};
+
+/// JDBCBench on the MySQL JDBC driver: transaction loop, heavy locking.
+pub const JDBCBENCH_MYSQL: DriverProfile = DriverProfile {
+    app: "MySQL JDBC",
+    benchmark: "JDBCBench",
+    workers: 8,
+    iterations: 40,
+    sections: 5,
+    cold_sections: 2,
+    section_work: 4,
+    inner_work: 2,
+    outside_work: 5,
+    paper_overhead_pct: 38,
+};
+
+/// Eclipse start-up + shutdown: moderately lock-bound initialization.
+pub const ECLIPSE_STARTUP: DriverProfile = DriverProfile {
+    app: "Eclipse",
+    benchmark: "Startup + Shutdown",
+    workers: 6,
+    iterations: 30,
+    sections: 5,
+    cold_sections: 2,
+    section_work: 4,
+    inner_work: 2,
+    outside_work: 3,
+    paper_overhead_pct: 33,
+};
+
+/// Limewire upload test: mostly I/O-shaped work outside locks.
+pub const LIMEWIRE_UPLOAD: DriverProfile = DriverProfile {
+    app: "Limewire",
+    benchmark: "Upload test",
+    workers: 6,
+    iterations: 30,
+    sections: 4,
+    cold_sections: 2,
+    section_work: 3,
+    inner_work: 1,
+    outside_work: 8,
+    paper_overhead_pct: 10,
+};
+
+/// Vuze start-up + shutdown: lightly lock-bound.
+pub const VUZE_STARTUP: DriverProfile = DriverProfile {
+    app: "Vuze",
+    benchmark: "Startup + Shutdown",
+    workers: 6,
+    iterations: 30,
+    sections: 4,
+    cold_sections: 2,
+    section_work: 3,
+    inner_work: 1,
+    outside_work: 10,
+    paper_overhead_pct: 8,
+};
+
+/// All Table II rows, in paper order.
+pub const ALL_DRIVERS: [DriverProfile; 5] = [
+    RUBIS_JBOSS,
+    JDBCBENCH_MYSQL,
+    ECLIPSE_STARTUP,
+    LIMEWIRE_UPLOAD,
+    VUZE_STARTUP,
+];
+
+/// Metadata about one nested critical section of a driver app — enough
+/// for the attacker to build signatures that match its runtime stacks
+/// exactly (see [`crate::attacker`]).
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section index (cold sections continue the numbering).
+    pub index: usize,
+    /// Declaring class.
+    pub class: ClassName,
+    /// The outer `synchronized` site (a *nested* site).
+    pub outer_site: SyncSite,
+    /// The inner `synchronized` site.
+    pub inner_site: SyncSite,
+    /// Outer lock name.
+    pub outer_lock: String,
+    /// Inner lock name.
+    pub inner_lock: String,
+    /// The depth-5 call-stack suffix of the service path at the outer
+    /// site: `[svc, ctrl, biz, dao, sect]`.
+    pub critical_stack: CallStack,
+    /// The depth-1 stack: just the outer lock statement.
+    pub top_only_stack: CallStack,
+    /// The runtime stack suffix at the *inner* site (depth 1).
+    pub inner_stack: CallStack,
+    /// Whether this is a cold (never-executed) section.
+    pub cold: bool,
+}
+
+/// A realized Table II workload.
+#[derive(Debug, Clone)]
+pub struct DriverApp {
+    profile: DriverProfile,
+    program: Program,
+    sections: Vec<Section>,
+}
+
+const WORKER_CLASS: &str = "drv.app.Worker";
+
+fn section_class(index: usize) -> String {
+    format!("drv.app.Sect{index}")
+}
+
+impl DriverApp {
+    /// Builds the program realizing `profile`.
+    pub fn build(profile: &DriverProfile) -> Self {
+        let mut b = ProgramBuilder::new();
+        let total_sections = profile.sections + profile.cold_sections;
+
+        for i in 0..total_sections {
+            let class = section_class(i);
+            let outer_lock = format!("drv.L{i}o");
+            let inner_lock = format!("drv.L{i}i");
+            let (ol, il) = (outer_lock.clone(), inner_lock.clone());
+            let section_work = profile.section_work;
+            let inner_work = profile.inner_work;
+            b.class(&class)
+                .plain_method("svc", |s| {
+                    s.call(&class, "ctrl");
+                })
+                .plain_method("ctrl", |s| {
+                    s.call(&class, "biz");
+                })
+                .plain_method("biz", |s| {
+                    s.call(&class, "dao");
+                })
+                .plain_method("dao", |s| {
+                    s.call(&class, "sect");
+                })
+                .plain_method("sect", move |s| {
+                    s.sync(LockExpr::global(ol), |s| {
+                        s.work(section_work).sync(LockExpr::global(il), |s| {
+                            s.work(inner_work);
+                        });
+                    });
+                })
+                .plain_method("alt", |s| {
+                    s.call(&class, "dao");
+                })
+                .done();
+        }
+
+        // Phase-shifted workers: worker w starts its section cycle at
+        // section (w mod sections), so an unattacked run overlaps
+        // *different* sections and sees almost no contention.
+        {
+            let mut cb = b.class(WORKER_CLASS);
+            for w in 0..profile.workers {
+                let hot = profile.sections;
+                let iterations = profile.iterations;
+                let outside = profile.outside_work;
+                cb = cb.plain_method(&format!("run{w}"), move |s| {
+                    // Per-worker phase offset: workers start spread out.
+                    s.work(w as u32);
+                    s.repeat(iterations, |s| {
+                        for step in 0..hot {
+                            let idx = (w + step) % hot;
+                            let class = section_class(idx);
+                            // Half the visits use the deep service path,
+                            // half the shallow alt path: depth-5
+                            // signatures only cover the former.
+                            s.branch(
+                                |t| {
+                                    t.call(&class, "svc");
+                                },
+                                |e| {
+                                    e.call(&class, "alt");
+                                },
+                            );
+                            // Randomly jittered think time: the workers'
+                            // relative phases random-walk, so section
+                            // overlaps are ergodic rather than all-or-
+                            // nothing lockstep (real request mixes drift
+                            // the same way).
+                            let lo = outside.saturating_sub(2);
+                            let hi = outside + 2;
+                            s.branch(
+                                |t| {
+                                    t.work(lo);
+                                },
+                                |e| {
+                                    e.work(hi);
+                                },
+                            );
+                        }
+                    });
+                });
+            }
+            cb.done();
+        }
+
+        let program = b.build();
+        let sections = (0..total_sections)
+            .map(|i| extract_section(&program, i, i >= profile.sections))
+            .collect();
+        DriverApp {
+            profile: *profile,
+            program,
+            sections,
+        }
+    }
+
+    /// The profile this app realizes.
+    pub fn profile(&self) -> &DriverProfile {
+        &self.profile
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The lowered program.
+    pub fn lowered(&self) -> LoweredProgram {
+        LoweredProgram::lower(&self.program)
+    }
+
+    /// All sections (hot first, then cold).
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// The hot (critical-path) sections.
+    pub fn hot_sections(&self) -> Vec<&Section> {
+        self.sections.iter().filter(|s| !s.cold).collect()
+    }
+
+    /// The cold (never-executed) sections.
+    pub fn cold_sections(&self) -> Vec<&Section> {
+        self.sections.iter().filter(|s| s.cold).collect()
+    }
+
+    /// The worker thread specs.
+    pub fn specs(&self) -> Vec<ThreadSpec> {
+        (0..self.profile.workers)
+            .map(|w| ThreadSpec::new(WORKER_CLASS, &format!("run{w}"), w as u64 + 1))
+            .collect()
+    }
+
+    /// Runs the workload once on a fresh simulator seeded with `history`,
+    /// with avoidance on or off.
+    pub fn run(&self, history: History, avoidance: bool) -> SimOutcome {
+        let mut dimmunix = DimmunixConfig::default();
+        dimmunix.avoidance = avoidance;
+        let mut sim = Simulator::with_history(
+            self.lowered(),
+            dimmunix,
+            SimConfig::default(),
+            history,
+        );
+        sim.run(&self.specs())
+    }
+
+    /// Runs the vanilla baseline (no Dimmunix interference).
+    pub fn run_vanilla(&self) -> SimOutcome {
+        let mut sim = Simulator::new(
+            self.lowered(),
+            DimmunixConfig::vanilla(),
+            SimConfig::default(),
+        );
+        sim.run(&self.specs())
+    }
+
+    /// Completion-time overhead of running with `history` (avoidance on)
+    /// relative to the vanilla baseline, as a fraction (0.40 = 40%).
+    pub fn overhead_vs_vanilla(&self, history: History) -> f64 {
+        let vanilla = self.run_vanilla();
+        let attacked = self.run(history, true);
+        let v = vanilla.virtual_time.as_secs_f64();
+        let a = attacked.virtual_time.as_secs_f64();
+        (a - v) / v
+    }
+}
+
+/// Finds the line of the first `Call` statement in `method`'s body.
+fn first_call_line(program: &Program, class: &str, method: &str) -> u32 {
+    let m = program
+        .class(class)
+        .and_then(|c| c.method(method))
+        .unwrap_or_else(|| panic!("driver method {class}.{method} missing"));
+    let mut line = None;
+    for s in &m.body {
+        s.visit(&mut |st| {
+            if line.is_none() {
+                if let Stmt::Call { line: l, .. } = st {
+                    line = Some(*l);
+                }
+            }
+        });
+    }
+    line.unwrap_or_else(|| panic!("{class}.{method} has no call statement"))
+}
+
+/// Finds the outer and inner sync lines of the `sect` method.
+fn sync_lines(program: &Program, class: &str) -> (u32, u32) {
+    let m = program
+        .class(class)
+        .and_then(|c| c.method("sect"))
+        .unwrap_or_else(|| panic!("driver method {class}.sect missing"));
+    let mut lines = Vec::new();
+    for s in &m.body {
+        s.visit(&mut |st| {
+            if let Stmt::Sync { line, .. } = st {
+                lines.push(*line);
+            }
+        });
+    }
+    assert_eq!(lines.len(), 2, "sect must have exactly two sync blocks");
+    (lines[0], lines[1])
+}
+
+/// Builds the [`Section`] metadata for section `index` by reading the
+/// built program's AST (so line numbers always match what the simulator
+/// will produce).
+fn extract_section(program: &Program, index: usize, cold: bool) -> Section {
+    let class = section_class(index);
+    let (outer_line, inner_line) = sync_lines(program, &class);
+    let critical_stack: CallStack = vec![
+        Frame::new(&class, "svc", first_call_line(program, &class, "svc")),
+        Frame::new(&class, "ctrl", first_call_line(program, &class, "ctrl")),
+        Frame::new(&class, "biz", first_call_line(program, &class, "biz")),
+        Frame::new(&class, "dao", first_call_line(program, &class, "dao")),
+        Frame::new(&class, "sect", outer_line),
+    ]
+    .into_iter()
+    .collect();
+    let top_only_stack: CallStack =
+        vec![Frame::new(&class, "sect", outer_line)].into_iter().collect();
+    let inner_stack: CallStack =
+        vec![Frame::new(&class, "sect", inner_line)].into_iter().collect();
+    Section {
+        index,
+        class: ClassName::new(class.clone()),
+        outer_site: SyncSite::new(class.clone(), "sect", outer_line),
+        inner_site: SyncSite::new(class, "sect", inner_line),
+        outer_lock: format!("drv.L{index}o"),
+        inner_lock: format!("drv.L{index}i"),
+        critical_stack,
+        top_only_stack,
+        inner_stack,
+        cold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_analysis::NestingAnalyzer;
+
+    /// A small profile for fast tests.
+    fn tiny() -> DriverProfile {
+        DriverProfile {
+            app: "Tiny",
+            benchmark: "unit",
+            workers: 4,
+            iterations: 5,
+            sections: 3,
+            cold_sections: 1,
+            section_work: 2,
+            inner_work: 1,
+            outside_work: 3,
+            paper_overhead_pct: 0,
+        }
+    }
+
+    #[test]
+    fn build_produces_expected_sections() {
+        let app = DriverApp::build(&tiny());
+        assert_eq!(app.sections().len(), 4);
+        assert_eq!(app.hot_sections().len(), 3);
+        assert_eq!(app.cold_sections().len(), 1);
+        for s in app.sections() {
+            assert_eq!(s.critical_stack.depth(), 5);
+            assert_eq!(s.top_only_stack.depth(), 1);
+            assert_eq!(
+                s.critical_stack.top().unwrap().site.line,
+                s.outer_site.line
+            );
+            assert_ne!(s.outer_site, s.inner_site);
+        }
+    }
+
+    #[test]
+    fn outer_sites_are_nested_per_analysis() {
+        // The attacker's signatures must end in nested sites to pass the
+        // agent's validation; check the driver app's outer sites classify
+        // as nested.
+        let app = DriverApp::build(&tiny());
+        let lowered = app.lowered();
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        for s in app.sections() {
+            assert!(
+                report.is_nested(&s.outer_site),
+                "outer site of section {} must be nested",
+                s.index
+            );
+            assert!(!report.is_nested(&s.inner_site));
+        }
+    }
+
+    #[test]
+    fn vanilla_run_completes_without_deadlock() {
+        let app = DriverApp::build(&tiny());
+        let o = app.run_vanilla();
+        assert!(o.all_finished());
+        assert_eq!(o.deadlocks.len(), 0);
+        assert!(o.virtual_time > communix_clock::Duration::ZERO);
+    }
+
+    #[test]
+    fn unattacked_dimmunix_run_matches_vanilla() {
+        // Empty history: avoidance never fires, completion time within
+        // rounding of vanilla.
+        let app = DriverApp::build(&tiny());
+        let overhead = app.overhead_vs_vanilla(History::new());
+        assert!(
+            overhead.abs() < 0.02,
+            "empty-history overhead should be < 2%, got {overhead}"
+        );
+    }
+
+    #[test]
+    fn vanilla_time_is_deterministic() {
+        let app = DriverApp::build(&tiny());
+        let a = app.run_vanilla().virtual_time;
+        let b = app.run_vanilla().virtual_time;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn critical_stack_matches_runtime_stack() {
+        // Seed a pair signature over sections 0 and 1 and check the
+        // simulator actually produces suspensions — i.e. the extracted
+        // stacks really are suffixes of the runtime stacks.
+        use communix_dimmunix::{SigEntry, Signature};
+        let app = DriverApp::build(&tiny());
+        let s0 = &app.sections()[0];
+        let s1 = &app.sections()[1];
+        let sig = Signature::remote(vec![
+            SigEntry::new(s0.critical_stack.clone(), s0.inner_stack.clone()),
+            SigEntry::new(s1.critical_stack.clone(), s1.inner_stack.clone()),
+        ]);
+        let mut history = History::new();
+        history.add(sig);
+        let o = app.run(history, true);
+        assert!(o.all_finished());
+        assert!(
+            o.stats.suspensions > 0,
+            "pair signature must cause avoidance suspensions"
+        );
+    }
+
+    #[test]
+    fn all_profiles_are_well_formed() {
+        for p in ALL_DRIVERS {
+            assert!(p.workers >= 2, "{}", p.app);
+            assert!(p.sections >= 2, "{}", p.app);
+            assert!(p.cold_sections >= 1, "{}", p.app);
+            assert!(p.paper_overhead_pct > 0, "{}", p.app);
+        }
+    }
+
+    #[test]
+    fn specs_name_existing_methods() {
+        let app = DriverApp::build(&tiny());
+        let specs = app.specs();
+        assert_eq!(specs.len(), 4);
+        for spec in &specs {
+            assert!(
+                app.program().resolve(&spec.entry).is_some(),
+                "{:?} missing",
+                spec.entry
+            );
+        }
+    }
+}

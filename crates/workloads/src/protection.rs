@@ -1,0 +1,296 @@
+//! The §IV-C time-to-full-protection model.
+//!
+//! "If there are Nd possible deadlock manifestations in A and it takes on
+//! average t days for a user to experience one manifestation, A will be
+//! deadlock-free in roughly t·Nd days, if Dimmunix alone is used. If
+//! Communix is used, all the users of A will have A deadlock-free in
+//! roughly t·Nd/Nu days."
+//!
+//! The paper presents this as a purely theoretical estimate. We simulate
+//! the stated model — manifestation encounters arrive per user as a
+//! Poisson process with mean inter-arrival `t` days — and check the
+//! Monte-Carlo means against the closed forms. Two encounter semantics
+//! are provided:
+//!
+//! * [`EncounterModel::DistinctRuns`] — the paper's idealization ("users
+//!   that run A in *different ways*"): every encounter reveals a
+//!   manifestation nobody has reported yet, until all `Nd` are known.
+//!   Expected coverage time is exactly `t·Nd/Nu`.
+//! * [`EncounterModel::UniformRandom`] — each encounter draws a
+//!   manifestation uniformly at random (users overlap), which inflates
+//!   coverage time by the coupon-collector factor `H(Nd)`; an ablation
+//!   showing how much the "different ways" assumption matters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a manifestation encounter maps to a manifestation identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncounterModel {
+    /// Every encounter reveals a not-yet-reported manifestation (the
+    /// paper's "users run A in different ways" idealization).
+    DistinctRuns,
+    /// Every encounter draws uniformly from all `Nd` manifestations
+    /// (users may rediscover known ones).
+    UniformRandom,
+}
+
+/// Parameters of the §IV-C experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtectionParams {
+    /// Number of users running the application (`Nu`).
+    pub users: usize,
+    /// Number of deadlock manifestations (`Nd`).
+    pub manifestations: usize,
+    /// Mean days for one user to experience one manifestation (`t`).
+    pub mean_days: f64,
+    /// Encounter semantics.
+    pub model: EncounterModel,
+    /// Monte-Carlo trials.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProtectionParams {
+    fn default() -> Self {
+        ProtectionParams {
+            users: 10,
+            manifestations: 20,
+            mean_days: 2.0,
+            model: EncounterModel::DistinctRuns,
+            trials: 200,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Result of the §IV-C simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtectionReport {
+    /// The parameters that produced this report.
+    pub params: ProtectionParamsSummary,
+    /// Mean days until a *single* user (Dimmunix alone) has experienced
+    /// all manifestations.
+    pub dimmunix_days: f64,
+    /// Mean days until the *community* (Communix) has experienced all
+    /// manifestations — after which every user is protected.
+    pub communix_days: f64,
+    /// The paper's closed form `t·Nd`.
+    pub closed_form_dimmunix: f64,
+    /// The paper's closed form `t·Nd/Nu`.
+    pub closed_form_communix: f64,
+}
+
+/// Copyable digest of [`ProtectionParams`] embedded in the report.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtectionParamsSummary {
+    /// `Nu`.
+    pub users: usize,
+    /// `Nd`.
+    pub manifestations: usize,
+    /// `t`.
+    pub mean_days: f64,
+    /// Encounter semantics used.
+    pub model: EncounterModel,
+}
+
+impl ProtectionReport {
+    /// Communix's speed-up over Dimmunix alone (simulated means).
+    pub fn speedup(&self) -> f64 {
+        self.dimmunix_days / self.communix_days
+    }
+}
+
+/// Samples an exponential inter-arrival with mean `mean` days.
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    // Inverse-CDF sampling; gen::<f64>() ∈ [0,1).
+    let u: f64 = rng.gen::<f64>();
+    -mean * (1.0 - u).ln()
+}
+
+/// Runs the Monte-Carlo simulation of §IV-C.
+///
+/// # Panics
+///
+/// Panics if `users`, `manifestations` or `trials` is zero, or
+/// `mean_days` is not positive.
+pub fn simulate(params: &ProtectionParams) -> ProtectionReport {
+    assert!(params.users > 0, "need at least one user");
+    assert!(params.manifestations > 0, "need at least one manifestation");
+    assert!(params.trials > 0, "need at least one trial");
+    assert!(params.mean_days > 0.0, "mean_days must be positive");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut dimmunix_total = 0.0;
+    let mut communix_total = 0.0;
+    for _ in 0..params.trials {
+        dimmunix_total += single_user_coverage(&mut rng, params);
+        communix_total += community_coverage(&mut rng, params);
+    }
+    let n = params.trials as f64;
+    let nd = params.manifestations as f64;
+    let nu = params.users as f64;
+    ProtectionReport {
+        params: ProtectionParamsSummary {
+            users: params.users,
+            manifestations: params.manifestations,
+            mean_days: params.mean_days,
+            model: params.model,
+        },
+        dimmunix_days: dimmunix_total / n,
+        communix_days: communix_total / n,
+        closed_form_dimmunix: params.mean_days * nd,
+        closed_form_communix: params.mean_days * nd / nu,
+    }
+}
+
+/// Days until one user, alone, has seen every manifestation. A single
+/// user's encounters always reveal manifestations new *to them*, so this
+/// is a sum of `Nd` exponentials regardless of the encounter model.
+fn single_user_coverage(rng: &mut StdRng, params: &ProtectionParams) -> f64 {
+    match params.model {
+        EncounterModel::DistinctRuns => (0..params.manifestations)
+            .map(|_| exp_sample(rng, params.mean_days))
+            .sum(),
+        EncounterModel::UniformRandom => {
+            // Coupon collector: keep drawing until all seen.
+            let nd = params.manifestations;
+            let mut seen = vec![false; nd];
+            let mut remaining = nd;
+            let mut time = 0.0;
+            while remaining > 0 {
+                time += exp_sample(rng, params.mean_days);
+                let pick = rng.gen_range(0..nd);
+                if !seen[pick] {
+                    seen[pick] = true;
+                    remaining -= 1;
+                }
+            }
+            time
+        }
+    }
+}
+
+/// Days until the union of all users' encounters covers every
+/// manifestation. Encounters arrive globally at aggregate rate `Nu/t`
+/// (superposition of the per-user Poisson processes).
+fn community_coverage(rng: &mut StdRng, params: &ProtectionParams) -> f64 {
+    let nd = params.manifestations;
+    let aggregate_mean = params.mean_days / params.users as f64;
+    match params.model {
+        EncounterModel::DistinctRuns => {
+            (0..nd).map(|_| exp_sample(rng, aggregate_mean)).sum()
+        }
+        EncounterModel::UniformRandom => {
+            let mut seen = vec![false; nd];
+            let mut remaining = nd;
+            let mut time = 0.0;
+            while remaining > 0 {
+                time += exp_sample(rng, aggregate_mean);
+                let pick = rng.gen_range(0..nd);
+                if !seen[pick] {
+                    seen[pick] = true;
+                    remaining -= 1;
+                }
+            }
+            time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(users: usize, model: EncounterModel) -> ProtectionParams {
+        ProtectionParams {
+            users,
+            manifestations: 20,
+            mean_days: 2.0,
+            model,
+            trials: 400,
+            seed: 99,
+        }
+    }
+
+    /// Relative error tolerance for Monte-Carlo means (400 trials of a
+    /// sum of 20 exponentials has std-err ≈ 1.1% of the mean).
+    const TOL: f64 = 0.10;
+
+    #[test]
+    fn distinct_runs_matches_closed_forms() {
+        let p = params(10, EncounterModel::DistinctRuns);
+        let r = simulate(&p);
+        assert!(
+            (r.dimmunix_days - r.closed_form_dimmunix).abs()
+                < TOL * r.closed_form_dimmunix,
+            "dimmunix {} vs closed {}",
+            r.dimmunix_days,
+            r.closed_form_dimmunix
+        );
+        assert!(
+            (r.communix_days - r.closed_form_communix).abs()
+                < TOL * r.closed_form_communix,
+            "communix {} vs closed {}",
+            r.communix_days,
+            r.closed_form_communix
+        );
+    }
+
+    #[test]
+    fn speedup_scales_with_users() {
+        let r10 = simulate(&params(10, EncounterModel::DistinctRuns));
+        let r100 = simulate(&params(100, EncounterModel::DistinctRuns));
+        // Speed-up ≈ Nu.
+        assert!((r10.speedup() - 10.0).abs() < 10.0 * 2.0 * TOL, "{}", r10.speedup());
+        assert!(
+            (r100.speedup() - 100.0).abs() < 100.0 * 2.0 * TOL,
+            "{}",
+            r100.speedup()
+        );
+    }
+
+    #[test]
+    fn one_user_gains_nothing() {
+        let r = simulate(&params(1, EncounterModel::DistinctRuns));
+        assert!((r.speedup() - 1.0).abs() < 2.0 * TOL);
+    }
+
+    #[test]
+    fn uniform_random_pays_coupon_collector_factor() {
+        let d = simulate(&params(10, EncounterModel::DistinctRuns));
+        let u = simulate(&params(10, EncounterModel::UniformRandom));
+        // H(20) ≈ 3.6: uniform rediscovery should cost noticeably more.
+        let h20: f64 = (1..=20).map(|k| 1.0 / k as f64).sum();
+        let expected_ratio = h20 * 20.0 / 20.0; // per-manifestation vs harmonic sum
+        let ratio = u.communix_days / d.communix_days;
+        assert!(
+            ratio > 1.5 && ratio < expected_ratio * 1.3,
+            "uniform/distinct ratio {ratio}, H(20)·Nd/Nd = {expected_ratio}"
+        );
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let a = simulate(&params(10, EncounterModel::DistinctRuns));
+        let b = simulate(&params(10, EncounterModel::DistinctRuns));
+        assert_eq!(a.dimmunix_days.to_bits(), b.dimmunix_days.to_bits());
+        assert_eq!(a.communix_days.to_bits(), b.communix_days.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_rejected() {
+        let mut p = params(1, EncounterModel::DistinctRuns);
+        p.users = 0;
+        let _ = simulate(&p);
+    }
+
+    #[test]
+    fn report_carries_params() {
+        let r = simulate(&params(7, EncounterModel::DistinctRuns));
+        assert_eq!(r.params.users, 7);
+        assert_eq!(r.params.manifestations, 20);
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic signature generators.
+//!
+//! Two kinds of synthetic signatures drive the evaluation:
+//!
+//! * **Random signatures** ([`SigGen::random_signature`]) — structurally
+//!   realistic (two entries, deep hashed stacks, ≈1.7 KB serialized, the
+//!   size the paper reports) but referencing synthetic classes. These
+//!   load the server in Figures 2 and 3, where only size and identity
+//!   matter.
+//! * **Application-valid signatures** ([`SigGen::valid_remote_sigs`]) —
+//!   signatures that *pass the Communix agent's full validation* against
+//!   a given program: every frame carries the correct bytecode hash of a
+//!   loaded class, outer stacks are ≥ 5 deep and end at genuinely nested
+//!   synchronized sites. These seed the local repository in Figure 4's
+//!   agent start-up measurements, with multiple manifestation variants
+//!   per bug so the generalization path is exercised too.
+
+use communix_analysis::NestingReport;
+use communix_bytecode::{Program, SyncSite};
+use communix_crypto::{sha256, Digest};
+use communix_dimmunix::{CallStack, Frame, SigEntry, Signature};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic signature generator.
+#[derive(Debug)]
+pub struct SigGen {
+    rng: StdRng,
+    counter: u64,
+}
+
+impl SigGen {
+    /// Creates a generator; equal seeds give equal output streams.
+    pub fn new(seed: u64) -> Self {
+        SigGen {
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+
+    /// A random, structurally realistic signature: two threads, outer
+    /// stacks of depth 8, inner stacks of depth 2, every frame hashed.
+    /// Serialized size is ≈1.7 KB, matching §IV-A. Distinct calls yield
+    /// signatures with disjoint top frames (no accidental adjacency).
+    pub fn random_signature(&mut self) -> Signature {
+        let id = self.counter;
+        self.counter += 1;
+        let pkg: u32 = self.rng.gen_range(0..50);
+        let mk_stack = |gen: &mut SigGen, role: u32, depth: usize| -> CallStack {
+            (0..depth)
+                .map(|d| {
+                    let class = format!("srv.p{pkg}.C{}", gen.rng.gen_range(0..40));
+                    let method = format!("m{}", gen.rng.gen_range(0..30));
+                    // The top frame's line encodes (id, role) so top
+                    // frames never collide across signatures.
+                    let line = if d + 1 == depth {
+                        (id as u32) * 10 + role
+                    } else {
+                        gen.rng.gen_range(1..5000)
+                    };
+                    let hash = sha256(format!("bytecode:{class}:{id}").as_bytes());
+                    Frame::with_hash(class, method, line, hash)
+                })
+                .collect()
+        };
+        let outer1 = mk_stack(self, 0, 8);
+        let inner1 = mk_stack(self, 1, 2);
+        let outer2 = mk_stack(self, 2, 8);
+        let inner2 = mk_stack(self, 3, 2);
+        Signature::local(vec![
+            SigEntry::new(outer1, inner1),
+            SigEntry::new(outer2, inner2),
+        ])
+    }
+
+    /// A batch of [`SigGen::random_signature`]s.
+    pub fn random_batch(&mut self, n: usize) -> Vec<Signature> {
+        (0..n).map(|_| self.random_signature()).collect()
+    }
+
+    /// Generates `n` remote signatures that pass the agent's validation
+    /// against `program` (hashes match, outer depth ≥ 5, outer tops are
+    /// nested sites per `report`).
+    ///
+    /// Signatures cycle through the program's nested sites in pairs (one
+    /// *bug* per site pair); successive signatures for the same bug are
+    /// different *manifestations* — identical in their five top frames,
+    /// different below — so the agent's generalization merges them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report` classifies fewer than two sites as nested.
+    pub fn valid_remote_sigs(
+        &mut self,
+        program: &Program,
+        report: &NestingReport,
+        n: usize,
+    ) -> Vec<Signature> {
+        let nested: Vec<&SyncSite> = report.nested();
+        assert!(
+            nested.len() >= 2,
+            "need at least two nested sites, found {}",
+            nested.len()
+        );
+        let bugs = nested.len() / 2;
+        let hash_of = |site: &SyncSite| -> Digest {
+            program
+                .class_by_name(&site.class)
+                .expect("nested site's class exists")
+                .bytecode_hash()
+        };
+        (0..n)
+            .map(|i| {
+                let bug = i % bugs;
+                let variant = (i / bugs) as u32;
+                let site_a = nested[2 * bug];
+                let site_b = nested[2 * bug + 1];
+                let entry = |site: &SyncSite, salt: u32| -> SigEntry {
+                    let h = hash_of(site);
+                    let class = site.class.as_str();
+                    let method = site.method.as_ref();
+                    // Variant-specific bottom frame, then four fixed
+                    // filler frames, then the nested top frame: depth 6,
+                    // common suffix (across variants) of depth 5.
+                    let mut frames = vec![Frame::with_hash(
+                        class,
+                        method,
+                        90_000 + variant,
+                        h,
+                    )];
+                    frames.extend((0..4).map(|d| {
+                        Frame::with_hash(class, method, 80_000 + salt * 10 + d, h)
+                    }));
+                    frames.push(Frame::with_hash(class, method, site.line, h));
+                    let outer: CallStack = frames.into_iter().collect();
+                    let inner: CallStack =
+                        vec![Frame::with_hash(class, method, 70_000 + salt, h)]
+                            .into_iter()
+                            .collect();
+                    SigEntry::new(outer, inner)
+                };
+                Signature::remote(vec![entry(site_a, 1), entry(site_b, 2)])
+            })
+            .collect()
+    }
+
+    /// Like [`SigGen::valid_remote_sigs`], but serialized to text (the
+    /// form the client repository stores).
+    pub fn valid_remote_sig_texts(
+        &mut self,
+        program: &Program,
+        report: &NestingReport,
+        n: usize,
+    ) -> Vec<String> {
+        self.valid_remote_sigs(program, report, n)
+            .into_iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::JBOSS;
+    use communix_analysis::NestingAnalyzer;
+    use communix_bytecode::LoweredProgram;
+
+    #[test]
+    fn random_signatures_are_about_paper_size() {
+        let mut g = SigGen::new(7);
+        for _ in 0..20 {
+            let s = g.random_signature();
+            let size = s.size_bytes();
+            assert!(
+                (1_000..3_000).contains(&size),
+                "signature size {size} outside the ≈1.7 KB band"
+            );
+        }
+    }
+
+    #[test]
+    fn random_signatures_are_distinct_and_parse() {
+        let mut g = SigGen::new(7);
+        let a = g.random_signature();
+        let b = g.random_signature();
+        assert_ne!(a, b);
+        assert!(!a.adjacent_to(&b), "random signatures must not collide");
+        assert_eq!(a.to_string().parse::<Signature>().unwrap(), a);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut g1 = SigGen::new(42);
+        let mut g2 = SigGen::new(42);
+        assert_eq!(g1.random_batch(5), g2.random_batch(5));
+        let mut g3 = SigGen::new(43);
+        assert_ne!(g1.random_batch(1), g3.random_batch(1));
+    }
+
+    #[test]
+    fn valid_sigs_pass_agent_validation() {
+        use communix_agent::{SignatureValidator, ValidatorConfig};
+        let program = JBOSS.scaled(0.05).generate();
+        let lowered = LoweredProgram::lower(&program);
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        let mut g = SigGen::new(1);
+        let sigs = g.valid_remote_sigs(&program, &report, 10);
+        let hashes: Vec<(String, Digest)> = program
+            .hash_index()
+            .into_iter()
+            .map(|(k, v)| (k.as_str().to_string(), v))
+            .collect();
+        let v = SignatureValidator::new(hashes, Some(&report), ValidatorConfig::default());
+        for (i, sig) in sigs.iter().enumerate() {
+            assert!(v.validate(sig).is_ok(), "signature {i} must validate");
+        }
+    }
+
+    #[test]
+    fn variants_of_same_bug_merge_to_depth_five() {
+        let program = JBOSS.scaled(0.05).generate();
+        let lowered = LoweredProgram::lower(&program);
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        let bugs = report.nested().len() / 2;
+        let mut g = SigGen::new(1);
+        // n = 2 * bugs gives exactly two variants of every bug.
+        let sigs = g.valid_remote_sigs(&program, &report, 2 * bugs);
+        let (a, b) = (&sigs[0], &sigs[bugs]);
+        assert!(a.same_bug(b));
+        assert_ne!(a.entries(), b.entries());
+        let merged = a.merge(b, 5).expect("variants must merge at depth 5");
+        assert_eq!(merged.min_outer_depth(), 5);
+    }
+
+    #[test]
+    fn different_bugs_do_not_merge() {
+        let program = JBOSS.scaled(0.05).generate();
+        let lowered = LoweredProgram::lower(&program);
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        let mut g = SigGen::new(1);
+        let sigs = g.valid_remote_sigs(&program, &report, 2);
+        assert!(!sigs[0].same_bug(&sigs[1]));
+        assert!(sigs[0].merge(&sigs[1], 5).is_none());
+    }
+
+    #[test]
+    fn sig_texts_roundtrip() {
+        let program = JBOSS.scaled(0.05).generate();
+        let lowered = LoweredProgram::lower(&program);
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        let mut g = SigGen::new(1);
+        let texts = g.valid_remote_sig_texts(&program, &report, 3);
+        for t in texts {
+            assert!(t.parse::<Signature>().is_ok());
+        }
+    }
+}

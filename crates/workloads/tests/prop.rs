@@ -1,0 +1,129 @@
+//! Property-based tests for the workload generators: the evaluation's
+//! validity rests on these generators hitting their targets exactly, at
+//! every scale.
+
+use communix_analysis::NestingAnalyzer;
+use communix_bytecode::LoweredProgram;
+use communix_dimmunix::{DimmunixConfig, History};
+use communix_runtime::{SimConfig, Simulator};
+use communix_workloads::{AppProfile, DeadlockApp, ManifestationApp, SigGen};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Profile generation is exact on its countable targets for
+    /// arbitrary (feasible) profiles, and the nesting analysis re-derives
+    /// the nested/analyzed split.
+    #[test]
+    fn profile_targets_hit_exactly(
+        nested in 1usize..12,
+        extra_analyzed in 0usize..10,
+        extra_sites in 0usize..14,
+        explicit in 0usize..7,
+    ) {
+        let analyzed = 2 * nested + extra_analyzed;
+        let profile = AppProfile {
+            name: "PropApp",
+            loc: 3_000,
+            sync_sites: analyzed + extra_sites,
+            explicit_ops: explicit,
+            nested,
+            analyzed,
+        };
+        let program = profile.generate();
+        let stats = program.stats();
+        prop_assert_eq!(stats.sync_blocks_and_methods, profile.sync_sites);
+        prop_assert_eq!(stats.explicit_sync_ops, profile.explicit_ops);
+
+        let lowered = LoweredProgram::lower(&program);
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        prop_assert_eq!(report.total_count(), profile.sync_sites);
+        prop_assert_eq!(report.analyzed_count(), profile.analyzed);
+        prop_assert_eq!(report.nested().len(), profile.nested);
+    }
+
+    /// The two-lock app deadlocks at every chain depth, its signature has
+    /// the predicted outer depth, and the signature then prevents its own
+    /// reoccurrence.
+    #[test]
+    fn deadlock_app_invariants(depth in 0usize..8) {
+        let app = DeadlockApp::new(depth);
+        let mut sim = Simulator::new(
+            app.lowered(),
+            DimmunixConfig::default(),
+            SimConfig::default(),
+        );
+        let first = sim.run(&app.deadlock_specs());
+        prop_assert_eq!(first.deadlocks.len(), 1);
+        prop_assert_eq!(first.deadlocks[0].min_outer_depth(), depth + 2);
+        let second = sim.run(&app.deadlock_specs());
+        prop_assert!(second.deadlocks.is_empty());
+        prop_assert!(second.all_finished());
+    }
+
+    /// Every manifestation of a multipath bug is the same bug; pairwise
+    /// merges always land on the shared-suffix depth.
+    #[test]
+    fn manifestation_merge_depth(paths in 2usize..5, shared in 1usize..5) {
+        let app = ManifestationApp::new(paths, shared);
+        let mut sim = Simulator::new(
+            app.lowered(),
+            DimmunixConfig::detection_only(),
+            SimConfig::default(),
+        );
+        let sigs: Vec<_> = (0..paths)
+            .map(|k| {
+                let o = sim.run(&app.deadlock_specs(k));
+                prop_assert!(o.deadlocks.len() == 1, "path {} must deadlock", k);
+                Ok(o.deadlocks[0].clone())
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+        for (i, a) in sigs.iter().enumerate() {
+            for b in &sigs[i + 1..] {
+                prop_assert!(a.same_bug(b));
+                let m = a.merge(b, 0).expect("same bug merges");
+                prop_assert_eq!(m.min_outer_depth(), shared + 2);
+            }
+        }
+    }
+
+    /// Generated valid signatures always pass validation and always
+    /// collapse to at most one history entry per bug.
+    #[test]
+    fn valid_sigs_collapse_per_bug(n in 1usize..40, seed in any::<u64>()) {
+        let profile = communix_workloads::JBOSS.scaled(0.03);
+        let program = profile.generate();
+        let lowered = LoweredProgram::lower(&program);
+        let report = NestingAnalyzer::new(&lowered).analyze();
+        let bugs = report.nested().len() / 2;
+        prop_assume!(bugs >= 1);
+        let mut gen = SigGen::new(seed);
+        let sigs = gen.valid_remote_sigs(&program, &report, n);
+        let mut history = History::new();
+        for s in sigs {
+            history.add_generalizing(s, 5);
+        }
+        prop_assert!(history.len() <= bugs.min(n));
+        for sig in history.signatures() {
+            prop_assert!(sig.min_outer_depth() >= 5);
+        }
+    }
+
+    /// Random signatures stay within the paper's size band and are
+    /// pairwise non-adjacent (so server benchmarks measure processing,
+    /// not accidental rejections).
+    #[test]
+    fn random_sig_batch_properties(seed in any::<u64>(), n in 2usize..12) {
+        let mut gen = SigGen::new(seed);
+        let batch = gen.random_batch(n);
+        for (i, a) in batch.iter().enumerate() {
+            let size = a.size_bytes();
+            prop_assert!((1_000..3_000).contains(&size), "size {}", size);
+            for b in &batch[i + 1..] {
+                prop_assert!(a != b);
+                prop_assert!(!a.adjacent_to(b));
+            }
+        }
+    }
+}

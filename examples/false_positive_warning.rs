@@ -1,0 +1,103 @@
+//! The false-positive detector (§III-C1) in action:
+//!
+//! > "If after 100 instantiations of a signature S there was no true
+//! > positive, and there was at least one interval of 1 second having
+//! > more than 10 instantiations of S, Dimmunix decides to warn the user
+//! > about signature S; the user can decide to keep S, if he/she notices
+//! > no change in the behavior of the application."
+//!
+//! Some concurrent code is deadlock-*prone* yet executes fine virtually
+//! always; its signature (or a malicious one) then serializes threads
+//! for no benefit. Dimmunix notices the pattern — many instantiations,
+//! zero vindications — and warns; here the "user" drops the flagged
+//! signature and the application's parallelism returns.
+//!
+//! Run with: `cargo run --release --example false_positive_warning`
+
+use communix::dimmunix::History;
+use communix::workloads::{AttackDepth, AttackerFactory, DriverApp, DriverProfile};
+
+fn main() {
+    // A busy application: many workers hammering its critical sections.
+    let profile = DriverProfile {
+        app: "BusyApp",
+        benchmark: "request mix",
+        workers: 6,
+        iterations: 120,
+        sections: 4,
+        cold_sections: 1,
+        section_work: 3,
+        inner_work: 1,
+        outside_work: 3,
+        paper_overhead_pct: 0,
+    };
+    let app = DriverApp::build(&profile);
+
+    // A signature that *looks* like a deadlock but never comes true —
+    // exactly what an overly general (or malicious) signature does to a
+    // deadlock-prone-but-fine code path.
+    let plan = AttackerFactory::new().critical_path_attack(
+        &app.hot_sections(),
+        4,
+        AttackDepth::One,
+    );
+
+    println!("== run 1: history contains 4 never-vindicated signatures ==");
+    let vanilla = app.run_vanilla();
+    let attacked = app.run(plan.as_history(), true);
+    println!(
+        "vanilla completion : {:.2} ms",
+        vanilla.virtual_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "with signatures    : {:.2} ms  ({} avoidance suspensions, {} deadlocks)",
+        attacked.virtual_time.as_secs_f64() * 1e3,
+        attacked.stats.suspensions,
+        attacked.stats.deadlocks_detected,
+    );
+
+    // Dimmunix's verdict: the suspects.
+    let mut suspects: Vec<usize> = attacked.fp_suspects.clone();
+    suspects.sort_unstable();
+    suspects.dedup();
+    println!(
+        "dimmunix warning   : {} of {} signatures flagged as likely false positives {:?}",
+        suspects.len(),
+        plan.len(),
+        suspects
+    );
+    assert!(
+        !suspects.is_empty(),
+        ">100 instantiations with zero true positives must trigger the warning"
+    );
+
+    // The user reviews the warning and drops the flagged signatures
+    // ("the user can decide": here they noticed the app got slower and
+    // nothing was ever avoided for real).
+    println!("\n== run 2: user drops the flagged signatures ==");
+    let kept: History = plan
+        .signatures()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !suspects.contains(i))
+        .map(|(_, s)| s.clone())
+        .collect();
+    println!(
+        "history now holds {} signature(s) (was {})",
+        kept.len(),
+        plan.len()
+    );
+    let after = app.run(kept, true);
+    println!(
+        "completion         : {:.2} ms  ({} suspensions)",
+        after.virtual_time.as_secs_f64() * 1e3,
+        after.stats.suspensions,
+    );
+    let recovered = (attacked.virtual_time.as_secs_f64() - after.virtual_time.as_secs_f64())
+        / attacked.virtual_time.as_secs_f64();
+    println!(
+        "\nparallelism recovered: completion time dropped {:.0}% after the purge.",
+        recovered * 100.0
+    );
+    assert!(after.virtual_time <= attacked.virtual_time);
+}
