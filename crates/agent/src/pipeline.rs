@@ -382,10 +382,7 @@ mod tests {
         let mut history = History::new();
         let report = agent.startup(&hashes(&p), &mut repo, &mut history);
         assert_eq!(report.inspected, 1000);
-        assert_eq!(
-            report.accepted + report.merged + report.duplicates,
-            1000
-        );
+        assert_eq!(report.accepted + report.merged + report.duplicates, 1000);
         // All manifestations of the same bug collapse into one entry.
         assert_eq!(history.len(), 1);
         assert!(report.elapsed < Duration::from_secs(3));
@@ -396,12 +393,8 @@ mod tests {
         let p = program();
         let agent = ready_agent(&p);
         let mut repo = LocalRepository::in_memory();
-        repo.append([
-            sig_text(&p, 0),
-            "garbage".to_string(),
-            sig_text(&p, 1),
-        ])
-        .unwrap();
+        repo.append([sig_text(&p, 0), "garbage".to_string(), sig_text(&p, 1)])
+            .unwrap();
         let mut history = History::new();
         let r = agent.startup(&hashes(&p), &mut repo, &mut history);
         assert_eq!(

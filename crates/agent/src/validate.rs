@@ -151,8 +151,7 @@ impl<'a> SignatureValidator<'a> {
     fn depth_threshold(&self, site: &Site) -> usize {
         if self.config.adaptive_depth {
             if let Some(depths) = self.min_depths {
-                return depths
-                    .threshold(&to_bytecode_site(site), self.config.min_outer_depth);
+                return depths.threshold(&to_bytecode_site(site), self.config.min_outer_depth);
             }
         }
         self.config.min_outer_depth
@@ -299,12 +298,7 @@ mod tests {
 
     /// Builds a hashed frame that matches the program.
     fn frame(p: &Program, class: &str, method: &str, line: u32) -> Frame {
-        Frame::with_hash(
-            class,
-            method,
-            line,
-            p.class(class).unwrap().bytecode_hash(),
-        )
+        Frame::with_hash(class, method, line, p.class(class).unwrap().bytecode_hash())
     }
 
     /// A fully valid remote signature (outer stacks depth ≥ 5 ending at
@@ -353,12 +347,7 @@ mod tests {
         let mut sig = valid_sig(&p);
         // Corrupt the top frame hash of one outer stack.
         let mut entries: Vec<SigEntry> = sig.entries().to_vec();
-        entries[0]
-            .outer
-            .frames_mut()
-            .last_mut()
-            .unwrap()
-            .hash = Some(sha256(b"different version"));
+        entries[0].outer.frames_mut().last_mut().unwrap().hash = Some(sha256(b"different version"));
         sig = Signature::remote(entries);
         assert!(matches!(
             v.validate(&sig),
@@ -450,8 +439,9 @@ mod tests {
         // Outer stacks ending at the INNER block (line 3), which is a
         // non-nested site.
         let mk_outer = || -> CallStack {
-            let mut frames: Vec<Frame> =
-                (0..4).map(|i| frame(&p, "app.D", "helper", 40 + i)).collect();
+            let mut frames: Vec<Frame> = (0..4)
+                .map(|i| frame(&p, "app.D", "helper", 40 + i))
+                .collect();
             frames.push(frame(&p, "app.C", "outer", 3));
             frames.into_iter().collect()
         };
@@ -522,7 +512,12 @@ mod tests {
         // The honest signature: outer stacks of depth 1 at the nested
         // entry-method site (the only achievable shape).
         let frame = |line: u32| {
-            Frame::with_hash("app.E", "entry", line, p.class("app.E").unwrap().bytecode_hash())
+            Frame::with_hash(
+                "app.E",
+                "entry",
+                line,
+                p.class("app.E").unwrap().bytecode_hash(),
+            )
         };
         let outer: CallStack = vec![frame(2)].into_iter().collect();
         let inner: CallStack = vec![frame(3)].into_iter().collect();
@@ -532,11 +527,7 @@ mod tests {
         ]);
 
         // Fixed rule: rejected.
-        let fixed = SignatureValidator::new(
-            hashes(&p),
-            Some(&report),
-            ValidatorConfig::default(),
-        );
+        let fixed = SignatureValidator::new(hashes(&p), Some(&report), ValidatorConfig::default());
         assert!(matches!(
             fixed.validate(&sig),
             Err(ValidationError::OuterTooShallow { depth: 1 })
@@ -588,7 +579,12 @@ mod tests {
         // The nested site sits 7 frames deep at minimum: threshold 5.
         let outer_line = report.nested()[0].line;
         let mk = |line: u32| {
-            Frame::with_hash("app.D6", "leaf", line, p.class("app.D6").unwrap().bytecode_hash())
+            Frame::with_hash(
+                "app.D6",
+                "leaf",
+                line,
+                p.class("app.D6").unwrap().bytecode_hash(),
+            )
         };
         let outer: CallStack = vec![mk(outer_line)].into_iter().collect();
         let inner: CallStack = vec![mk(outer_line + 1)].into_iter().collect();

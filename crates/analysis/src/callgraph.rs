@@ -174,7 +174,10 @@ mod tests {
                 })
                 .done();
         });
-        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "syncs")), SyncEffect::Syncs);
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "syncs")),
+            SyncEffect::Syncs
+        );
         assert_eq!(
             g.sync_effect(&MethodRef::new("a.A", "pure")),
             SyncEffect::DoesNotSync
@@ -186,7 +189,10 @@ mod tests {
         let g = graph(|b| {
             b.class("a.A").sync_method("m", |_| {}).done();
         });
-        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "m")), SyncEffect::Syncs);
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "m")),
+            SyncEffect::Syncs
+        );
     }
 
     #[test]
@@ -204,7 +210,10 @@ mod tests {
                 })
                 .done();
         });
-        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "top")), SyncEffect::Syncs);
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "top")),
+            SyncEffect::Syncs
+        );
     }
 
     #[test]
@@ -307,8 +316,14 @@ mod tests {
                 })
                 .done();
         });
-        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "f")), SyncEffect::Syncs);
-        assert_eq!(g.sync_effect(&MethodRef::new("a.A", "g")), SyncEffect::Syncs);
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "f")),
+            SyncEffect::Syncs
+        );
+        assert_eq!(
+            g.sync_effect(&MethodRef::new("a.A", "g")),
+            SyncEffect::Syncs
+        );
     }
 
     #[test]

@@ -14,15 +14,13 @@ use communix_bytecode::LoweredProgram;
 use communix_clock::{SystemClock, VirtualClock};
 use communix_crypto::{sha256, Aes128};
 use communix_dimmunix::{
-    AvoidanceMatcher, CallStack, DimmunixConfig, Frame, History, LockId, LockRecord,
-    Signature, ThreadId,
+    AvoidanceMatcher, CallStack, DimmunixConfig, Frame, History, LockId, LockRecord, Signature,
+    ThreadId,
 };
 use communix_net::{Reply, Request};
 use communix_runtime::{SimConfig, Simulator};
 use communix_server::{CommunixServer, ServerConfig};
-use communix_workloads::{
-    AttackDepth, AttackerFactory, DriverApp, DriverProfile, SigGen, JBOSS,
-};
+use communix_workloads::{AttackDepth, AttackerFactory, DriverApp, DriverProfile, SigGen, JBOSS};
 
 fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("crypto");
@@ -77,7 +75,11 @@ fn bench_matcher(c: &mut Criterion) {
         // sites, except the last one which matches the probed stack.
         let mut history = History::new();
         for i in 0..hist_size {
-            let line = if i + 1 == hist_size { 10 } else { 1000 + i as u32 };
+            let line = if i + 1 == hist_size {
+                10
+            } else {
+                1000 + i as u32
+            };
             let outer1 = stack_at(line, 5);
             let outer2 = stack_at(line + 1, 5);
             let inner: CallStack = vec![Frame::new("app.C", "sect", 99)].into_iter().collect();
@@ -160,7 +162,10 @@ fn bench_server(c: &mut Criterion) {
                 let user = next_user.get();
                 next_user.set(user + 1);
                 let mut gen = SigGen::new(0xADD ^ user);
-                (server.authority().issue(user), gen.random_signature().to_string())
+                (
+                    server.authority().issue(user),
+                    gen.random_signature().to_string(),
+                )
             },
             |(id, text)| {
                 server.handle(Request::Add {
@@ -176,7 +181,9 @@ fn bench_server(c: &mut Criterion) {
     });
     let reply = Reply::Sigs {
         from: 0,
-        sigs: (0..100).map(|_| gen.random_signature().to_string()).collect(),
+        sigs: (0..100)
+            .map(|_| gen.random_signature().to_string())
+            .collect(),
     };
     g.bench_function("codec/encode_sigs_reply_100", |b| {
         b.iter(|| black_box(&reply).encode())

@@ -18,9 +18,7 @@
 use communix_bench::{banner, fmt_pct, row};
 use communix_dimmunix::{History, SigEntry, Signature};
 use communix_runtime::{SimConfig, Simulator};
-use communix_workloads::{
-    DriverApp, ManifestationApp, RUBIS_JBOSS,
-};
+use communix_workloads::{DriverApp, ManifestationApp, RUBIS_JBOSS};
 
 fn depth_sweep() {
     banner(
@@ -81,7 +79,9 @@ fn generalization_ablation() {
     let manifestations: Vec<Signature> = (0..paths)
         .map(|k| {
             let o = harvester.run(&app.deadlock_specs(k));
-            o.deadlocks[0].clone().with_origin(communix_dimmunix::SigOrigin::Remote)
+            o.deadlocks[0]
+                .clone()
+                .with_origin(communix_dimmunix::SigOrigin::Remote)
         })
         .collect();
 
@@ -174,12 +174,20 @@ fn adaptive_threshold_ablation() {
     row(&["rule", "honest depth-1 sig", "threshold at site"]);
     row(&[
         "fixed (paper default)",
-        if fixed.validate(&honest).is_ok() { "accepted" } else { "REJECTED" },
+        if fixed.validate(&honest).is_ok() {
+            "accepted"
+        } else {
+            "REJECTED"
+        },
         "5",
     ]);
     row(&[
         "adaptive min(d,5)",
-        if adaptive.validate(&honest).is_ok() { "accepted" } else { "REJECTED" },
+        if adaptive.validate(&honest).is_ok() {
+            "accepted"
+        } else {
+            "REJECTED"
+        },
         &format!("{}", depths.threshold(site, 5)),
     ]);
     println!(

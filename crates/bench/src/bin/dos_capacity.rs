@@ -88,10 +88,8 @@ fn main() {
     agent.run_nesting_analysis(&lowered);
 
     let mut repo = LocalRepository::in_memory();
-    repo.append(
-        (0..5_000).map(|k| factory.flood_signature(k / 10, k % 10).to_string()),
-    )
-    .expect("in-memory");
+    repo.append((0..5_000).map(|k| factory.flood_signature(k / 10, k % 10).to_string()))
+        .expect("in-memory");
     let mut history = History::new();
     let report = agent.startup(&hashes, &mut repo, &mut history);
     println!(
@@ -109,11 +107,7 @@ fn main() {
     //    sites (here: bugs = site pairs, each absorbing all its variants
     //    through generalization).
     // ------------------------------------------------------------------
-    let nested = agent
-        .nesting()
-        .expect("analysis ran")
-        .nested()
-        .len();
+    let nested = agent.nesting().expect("analysis ran").nested().len();
     let mut gen = SigGen::new(0xD05);
     let crafted =
         gen.valid_remote_sig_texts(&program, agent.nesting().expect("analysis ran"), 4 * nested);

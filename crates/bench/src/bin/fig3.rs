@@ -129,8 +129,11 @@ fn tcp_point(clients: usize) -> f64 {
         Arc::new(SystemClock::new()),
     ));
     let handler_server = server.clone();
-    let tcp = TcpServer::bind("127.0.0.1:0", Arc::new(move |req| handler_server.handle(req)))
-        .expect("bind localhost");
+    let tcp = TcpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(move |req| handler_server.handle(req)),
+    )
+    .expect("bind localhost");
     let addr = tcp.addr();
 
     let rates: Vec<f64> = std::thread::scope(|scope| {
@@ -173,7 +176,12 @@ fn main() {
     let points = [10usize, 20, 30, 40, 50, 75, 100, 200];
 
     println!("\nsimulated network (1 Gbit/s server NIC, 0.5 ms latency):");
-    row(&["client threads", "replies/s/client", "aggregate", "server tx"]);
+    row(&[
+        "client threads",
+        "replies/s/client",
+        "aggregate",
+        "server tx",
+    ]);
     let mut first = None;
     let mut last = None;
     for &n in &points {

@@ -63,11 +63,8 @@ fn main() {
 
         let mut gen = SigGen::new(0xF16_4);
         let report = agent.nesting().expect("analysis ran");
-        let texts = gen.valid_remote_sig_texts(
-            &program,
-            report,
-            *sig_counts.last().expect("non-empty"),
-        );
+        let texts =
+            gen.valid_remote_sig_texts(&program, report, *sig_counts.last().expect("non-empty"));
 
         // Dimmunix start-up: vanilla + loading a learned history (use
         // the history the largest batch generalizes into).
@@ -120,8 +117,9 @@ fn main() {
                 &fmt_dur(dimmunix),
                 &fmt_dur(agent_total),
                 &fmt_dur(agent_idle),
-                &fmt_pct((agent_total.as_secs_f64() - vanilla.as_secs_f64())
-                    / vanilla.as_secs_f64()),
+                &fmt_pct(
+                    (agent_total.as_secs_f64() - vanilla.as_secs_f64()) / vanilla.as_secs_f64(),
+                ),
             ]);
         }
 

@@ -93,7 +93,11 @@ impl Stmt {
     /// Counts `Sync` statements in this statement and its children.
     pub fn count_sync_blocks(&self) -> usize {
         let own = usize::from(matches!(self, Stmt::Sync { .. }));
-        own + self.children().iter().map(|s| s.count_sync_blocks()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|s| s.count_sync_blocks())
+            .sum::<usize>()
     }
 
     /// Counts explicit lock/unlock operations in this subtree.
@@ -102,7 +106,11 @@ impl Stmt {
             self,
             Stmt::ExplicitLock { .. } | Stmt::ExplicitUnlock { .. }
         ));
-        own + self.children().iter().map(|s| s.count_explicit_ops()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|s| s.count_explicit_ops())
+            .sum::<usize>()
     }
 
     /// All nested child statements, in source order.

@@ -319,10 +319,7 @@ mod tests {
         let p = b.build();
         let c = p.class("app.C").unwrap();
         assert!(c.method("handle").unwrap().synchronized);
-        assert_eq!(
-            p.sync_sites(),
-            vec![SyncSite::new("app.C", "handle", 1)]
-        );
+        assert_eq!(p.sync_sites(), vec![SyncSite::new("app.C", "handle", 1)]);
     }
 
     #[test]
@@ -387,8 +384,16 @@ mod tests {
     #[test]
     fn line_counter_is_per_class() {
         let mut b = ProgramBuilder::new();
-        b.class("a.A").plain_method("m", |s| { s.work(1); }).done();
-        b.class("b.B").plain_method("m", |s| { s.work(1); }).done();
+        b.class("a.A")
+            .plain_method("m", |s| {
+                s.work(1);
+            })
+            .done();
+        b.class("b.B")
+            .plain_method("m", |s| {
+                s.work(1);
+            })
+            .done();
         let p = b.build();
         // Both classes start their numbering at 1.
         assert_eq!(p.class("a.A").unwrap().method("m").unwrap().decl_line, 1);

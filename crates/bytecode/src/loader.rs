@@ -100,7 +100,11 @@ impl ClassLoader {
     pub fn loaded_hashes(&self, program: &Program) -> Vec<(ClassName, Digest)> {
         self.loaded
             .iter()
-            .filter_map(|n| program.class_by_name(n).map(|c| (n.clone(), c.bytecode_hash())))
+            .filter_map(|n| {
+                program
+                    .class_by_name(n)
+                    .map(|c| (n.clone(), c.bytecode_hash()))
+            })
             .collect()
     }
 }

@@ -310,10 +310,7 @@ mod tests {
     use super::*;
 
     fn lower_body(body: Vec<Stmt>) -> LoweredMethod {
-        lower_method(
-            &ClassName::new("t.C"),
-            &Method::new("m", 1, body),
-        )
+        lower_method(&ClassName::new("t.C"), &Method::new("m", 1, body))
     }
 
     #[test]

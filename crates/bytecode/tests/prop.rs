@@ -57,7 +57,8 @@ fn emit(spec: &StmtSpec, s: &mut communix_bytecode::StmtSink<'_>) {
             s.call("p.Helper", &format!("h{k}"));
         }
         StmtSpec::ExplicitPair(k) => {
-            s.explicit_lock(&format!("rl{k}")).explicit_unlock(&format!("rl{k}"));
+            s.explicit_lock(&format!("rl{k}"))
+                .explicit_unlock(&format!("rl{k}"));
         }
         StmtSpec::Sync(l, body) => {
             s.sync(LockExpr::global(format!("L{l}")), |s| {

@@ -163,7 +163,10 @@ mod tests {
     #[test]
     fn shutdown_is_idempotent_and_drop_safe() {
         let conn = |_req: Request| -> Result<Reply, String> {
-            Ok(Reply::Sigs { from: 0, sigs: vec![] })
+            Ok(Reply::Sigs {
+                from: 0,
+                sigs: vec![],
+            })
         };
         let repo = Arc::new(Mutex::new(LocalRepository::in_memory()));
         let mut daemon = ClientDaemon::spawn(conn, repo, Duration::from_secs(3600));

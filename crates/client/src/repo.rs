@@ -229,7 +229,10 @@ mod tests {
     use super::*;
 
     fn sig_text(tag: u32) -> String {
-        format!("sig remote\nouter a.C#f:{tag}\ninner a.C#g:{}\nend", tag + 1)
+        format!(
+            "sig remote\nouter a.C#f:{tag}\ninner a.C#g:{}\nend",
+            tag + 1
+        )
     }
 
     #[test]
@@ -279,9 +282,14 @@ mod tests {
             let r = LocalRepository::open(&dir).unwrap();
             assert_eq!(r.len(), 4);
             assert_eq!(r.uninspected_count(), 1);
-            assert_eq!(r.sig(0).unwrap().parse::<communix_dimmunix::Signature>()
-                .unwrap()
-                .to_string(), sig_text(1));
+            assert_eq!(
+                r.sig(0)
+                    .unwrap()
+                    .parse::<communix_dimmunix::Signature>()
+                    .unwrap()
+                    .to_string(),
+                sig_text(1)
+            );
             assert_eq!(r.nesting_retry_indices(), vec![0]);
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -289,10 +297,8 @@ mod tests {
 
     #[test]
     fn corrupt_state_clamped() {
-        let dir = std::env::temp_dir().join(format!(
-            "communix-repo-corrupt-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("communix-repo-corrupt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("state.txt"), "cursor 999\nretry 5 900\n").unwrap();

@@ -76,7 +76,10 @@ pub fn sync_once(
         .call(Request::Get { from })
         .map_err(SyncError::Transport)?;
     match reply {
-        Reply::Sigs { from: got_from, sigs } => {
+        Reply::Sigs {
+            from: got_from,
+            sigs,
+        } => {
             if got_from != from {
                 return Err(SyncError::Protocol(format!(
                     "asked for index {from}, server answered from {got_from}"
@@ -221,8 +224,7 @@ mod tests {
             accepted: false,
             reason: "adjacent signature from same sender".into(),
         }]);
-        let (accepted, reason) =
-            upload_signature(&mut conn, [0u8; 16], "sig".into()).unwrap();
+        let (accepted, reason) = upload_signature(&mut conn, [0u8; 16], "sig".into()).unwrap();
         assert!(!accepted);
         assert!(reason.contains("adjacent"));
     }

@@ -65,7 +65,9 @@ impl Instant {
     /// Adds a duration, saturating at the maximum representable instant.
     pub fn saturating_add(&self, d: Duration) -> Instant {
         Instant {
-            nanos: self.nanos.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+            nanos: self
+                .nanos
+                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
         }
     }
 }

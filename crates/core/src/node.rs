@@ -114,8 +114,7 @@ impl CommunixNode {
     /// history costs protection, never correctness).
     pub fn with_repo(program: Program, config: NodeConfig, repo: LocalRepository) -> Self {
         let lowered = LoweredProgram::lower(&program);
-        let mut simulator =
-            Simulator::new(lowered, config.dimmunix.clone(), config.sim.clone());
+        let mut simulator = Simulator::new(lowered, config.dimmunix.clone(), config.sim.clone());
         if let Some(path) = &config.history_path {
             if let Ok(history) = History::load_from_path(path) {
                 simulator.set_history(history);
@@ -221,7 +220,8 @@ impl CommunixNode {
     /// produces the signatures" — call [`CommunixNode::upload_pending`]).
     pub fn run(&mut self, specs: &[ThreadSpec]) -> SimOutcome {
         let outcome = self.simulator.run(specs);
-        self.pending_uploads.extend(outcome.deadlocks.iter().cloned());
+        self.pending_uploads
+            .extend(outcome.deadlocks.iter().cloned());
         outcome
     }
 
@@ -232,10 +232,7 @@ impl CommunixNode {
     ///
     /// Returns [`SyncError`] if the node has no id or the transport
     /// fails; signatures not yet sent remain queued.
-    pub fn upload_pending(
-        &mut self,
-        connector: &mut dyn Connector,
-    ) -> Result<usize, SyncError> {
+    pub fn upload_pending(&mut self, connector: &mut dyn Connector) -> Result<usize, SyncError> {
         let Some(id) = self.encrypted_id else {
             return Err(SyncError::Transport(
                 "node has no encrypted id (call obtain_id first)".into(),
@@ -270,9 +267,9 @@ impl CommunixNode {
             // version identities, not load state — reuse the full index.
             let hashes = self.all_hashes();
             let mut history = self.simulator.history().clone();
-            let recheck = self
-                .agent
-                .recheck_after_class_load(&hashes, &mut self.repo, &mut history);
+            let recheck =
+                self.agent
+                    .recheck_after_class_load(&hashes, &mut self.repo, &mut history);
             self.simulator.set_history(history);
             report.rechecked = recheck.inspected;
             report.recheck_accepted = recheck.accepted + recheck.merged;

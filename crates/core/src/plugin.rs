@@ -73,7 +73,11 @@ impl CommunixPlugin {
     /// ready for upload).
     pub fn fully_hashed(&self, sig: &Signature) -> bool {
         sig.entries().iter().all(|e| {
-            e.outer.frames().iter().chain(e.inner.frames()).all(|f| f.hash.is_some())
+            e.outer
+                .frames()
+                .iter()
+                .chain(e.inner.frames())
+                .all(|f| f.hash.is_some())
         })
     }
 
@@ -114,9 +118,7 @@ mod tests {
     }
 
     fn raw_sig() -> Signature {
-        let cs = |l: u32| -> CallStack {
-            vec![Frame::new("app.C", "m", l)].into_iter().collect()
-        };
+        let cs = |l: u32| -> CallStack { vec![Frame::new("app.C", "m", l)].into_iter().collect() };
         Signature::local(vec![
             SigEntry::new(cs(2), cs(3)),
             SigEntry::new(cs(3), cs(2)),
@@ -164,6 +166,9 @@ mod tests {
         let (accepted, _) = plugin.upload(&mut conn, [1u8; 16], &raw_sig()).unwrap();
         assert!(accepted);
         let sent: Signature = seen.expect("ADD sent").parse().unwrap();
-        assert!(plugin.fully_hashed(&sent), "wire signature must carry hashes");
+        assert!(
+            plugin.fully_hashed(&sent),
+            "wire signature must carry hashes"
+        );
     }
 }

@@ -211,13 +211,7 @@ impl DimmunixCore {
     ) -> (RequestOutcome, Vec<Wake>) {
         // Reentrant re-acquisition: Java monitors are reentrant; no new
         // record is published and avoidance is bypassed.
-        if let Some(hold) = self
-            .threads
-            .entry(thread)
-            .or_default()
-            .holds
-            .get_mut(&lock)
-        {
+        if let Some(hold) = self.threads.entry(thread).or_default().holds.get_mut(&lock) {
             hold.reentrancy += 1;
             self.events.push_back(Event::Acquired {
                 thread,
@@ -551,8 +545,7 @@ impl DimmunixCore {
                         thread: req.thread,
                         lock: req.lock,
                     });
-                    let (outcome, mut w) =
-                        self.publish_request(req.thread, req.lock, req.stack);
+                    let (outcome, mut w) = self.publish_request(req.thread, req.lock, req.stack);
                     wakes.append(&mut w);
                     match outcome {
                         RequestOutcome::Acquired => wakes.push(Wake::Granted(req.thread)),
@@ -783,7 +776,11 @@ mod tests {
             LockId(2),
             cs(&[("run", 1), ("lockA", 10), ("needB", 11)]),
         );
-        assert_eq!(o, RequestOutcome::Acquired, "t5 proceeds through both locks");
+        assert_eq!(
+            o,
+            RequestOutcome::Acquired,
+            "t5 proceeds through both locks"
+        );
         let mut wakes = c.release(ThreadId(5), LockId(2));
         wakes.extend(c.release(ThreadId(5), LockId(1)));
         assert!(wakes.contains(&Wake::Granted(ThreadId(6))));
@@ -873,7 +870,10 @@ mod tests {
             .iter()
             .any(|e| matches!(e, Event::ForcedGrant { .. }));
         assert!(
-            forced || w.iter().chain(w2.iter()).any(|wk| wk.thread() == ThreadId(12)),
+            forced
+                || w.iter()
+                    .chain(w2.iter())
+                    .any(|wk| wk.thread() == ThreadId(12)),
             "suspended thread must eventually be let through"
         );
         assert_eq!(c.suspended_count(), 0);

@@ -46,7 +46,11 @@ impl Default for FalsePositiveDetector {
 
 impl FalsePositiveDetector {
     /// Creates a detector with explicit thresholds.
-    pub fn new(instantiation_threshold: u64, burst_threshold: usize, burst_window: Duration) -> Self {
+    pub fn new(
+        instantiation_threshold: u64,
+        burst_threshold: usize,
+        burst_window: Duration,
+    ) -> Self {
         FalsePositiveDetector {
             stats: Vec::new(),
             instantiation_threshold,

@@ -103,7 +103,11 @@ impl fmt::Display for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Serialized form: class#method:line[:hash]. `#` separates class
         // from method so dotted class names parse unambiguously.
-        write!(f, "{}#{}:{}", self.site.class, self.site.method, self.site.line)?;
+        write!(
+            f,
+            "{}#{}:{}",
+            self.site.class, self.site.method, self.site.line
+        )?;
         if let Some(h) = &self.hash {
             write!(f, ":{h}")?;
         }
@@ -154,8 +158,7 @@ impl FromStr for Frame {
         let hash = match parts.next() {
             None => None,
             Some(h) => Some(
-                Digest::from_hex(h)
-                    .map_err(|e| ParseFrameError::new(format!("bad hash: {e}")))?,
+                Digest::from_hex(h).map_err(|e| ParseFrameError::new(format!("bad hash: {e}")))?,
             ),
         };
         if parts.next().is_some() {

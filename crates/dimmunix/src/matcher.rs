@@ -71,8 +71,7 @@ impl AvoidanceMatcher {
         self.positions.clear();
         self.by_top.clear();
         for (si, sig) in history.signatures().iter().enumerate() {
-            let outers: Vec<CallStack> =
-                sig.entries().iter().map(|e| e.outer.clone()).collect();
+            let outers: Vec<CallStack> = sig.entries().iter().map(|e| e.outer.clone()).collect();
             for (pi, outer) in outers.iter().enumerate() {
                 if let Some(top) = outer.top() {
                     self.by_top

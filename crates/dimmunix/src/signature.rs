@@ -193,8 +193,7 @@ impl Signature {
                 e.inner.longest_common_suffix(&o.inner),
             ));
         }
-        let both_local =
-            self.origin == SigOrigin::Local && other.origin == SigOrigin::Local;
+        let both_local = self.origin == SigOrigin::Local && other.origin == SigOrigin::Local;
         let origin = if both_local {
             SigOrigin::Local
         } else {
@@ -278,11 +277,10 @@ impl std::str::FromStr for Signature {
                 saw_end = true;
                 continue;
             }
-            if let Some(rest) = line.strip_prefix("outer ").or(if line == "outer" {
-                Some("")
-            } else {
-                None
-            }) {
+            if let Some(rest) =
+                line.strip_prefix("outer ")
+                    .or(if line == "outer" { Some("") } else { None })
+            {
                 if pending_outer.is_some() {
                     return Err(ParseSignatureError::new("two 'outer' lines in a row"));
                 }
@@ -290,11 +288,10 @@ impl std::str::FromStr for Signature {
                     rest.parse()
                         .map_err(|e| ParseSignatureError::new(format!("{e}")))?,
                 );
-            } else if let Some(rest) = line.strip_prefix("inner ").or(if line == "inner" {
-                Some("")
-            } else {
-                None
-            }) {
+            } else if let Some(rest) =
+                line.strip_prefix("inner ")
+                    .or(if line == "inner" { Some("") } else { None })
+            {
                 let outer = pending_outer
                     .take()
                     .ok_or_else(|| ParseSignatureError::new("'inner' without 'outer'"))?;
@@ -488,7 +485,9 @@ mod tests {
         assert!("sig local\nend".parse::<Signature>().is_err()); // no entries
         assert!("sig local\nouter a#b:1\nend".parse::<Signature>().is_err()); // dangling outer
         assert!("sig local\ninner a#b:1\nend".parse::<Signature>().is_err()); // inner first
-        assert!("sig local\nouter a#b:1\ninner a#c:2".parse::<Signature>().is_err()); // no end
+        assert!("sig local\nouter a#b:1\ninner a#c:2"
+            .parse::<Signature>()
+            .is_err()); // no end
         assert!("sig local\nouter a#b:1\nouter a#c:2\ninner a#d:3\nend"
             .parse::<Signature>()
             .is_err()); // double outer

@@ -10,9 +10,8 @@ use proptest::prelude::*;
 /// Strategy for a frame with a small vocabulary so collisions (shared
 /// suffixes, shared top frames) actually happen.
 fn arb_frame() -> impl Strategy<Value = Frame> {
-    (0..4u8, 0..6u8, 1..50u32).prop_map(|(c, m, l)| {
-        Frame::new(format!("pkg.Class{c}"), format!("method{m}"), l)
-    })
+    (0..4u8, 0..6u8, 1..50u32)
+        .prop_map(|(c, m, l)| Frame::new(format!("pkg.Class{c}"), format!("method{m}"), l))
 }
 
 fn arb_stack(max_depth: usize) -> impl Strategy<Value = CallStack> {

@@ -385,18 +385,12 @@ mod tests {
     fn oversized_frame_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32((MAX_FRAME + 1) as u32);
-        assert_eq!(
-            deframe(&mut buf),
-            Err(CodecError::TooLarge(MAX_FRAME + 1))
-        );
+        assert_eq!(deframe(&mut buf), Err(CodecError::TooLarge(MAX_FRAME + 1)));
     }
 
     #[test]
     fn truncated_payloads_rejected() {
-        assert_eq!(
-            Request::decode(Bytes::new()),
-            Err(CodecError::Truncated)
-        );
+        assert_eq!(Request::decode(Bytes::new()), Err(CodecError::Truncated));
         assert_eq!(
             Request::decode(Bytes::from_static(&[TAG_ADD, 1, 2])),
             Err(CodecError::Truncated)

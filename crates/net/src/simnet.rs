@@ -120,13 +120,7 @@ impl SimNet {
     /// while charging the NIC for the full-size reply a real deployment
     /// would ship — e.g. a GET(0) reply carrying `k` signatures is
     /// modeled as `k × 1.7 KB` without allocating those bytes.
-    pub fn send_modeled(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        payload: Vec<u8>,
-        wire_len: usize,
-    ) {
+    pub fn send_modeled(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>, wire_len: usize) {
         let nic = self.nics.get(&from).copied().unwrap_or(self.default_nic);
         let start = self
             .nic_free
@@ -151,8 +145,7 @@ impl SimNet {
                 payload,
             },
         );
-        self.in_flight
-            .push(Reverse((arrive, self.seq, self.seq)));
+        self.in_flight.push(Reverse((arrive, self.seq, self.seq)));
     }
 
     /// Pops the next delivery in arrival order, advancing virtual time to

@@ -7,10 +7,8 @@ use proptest::prelude::*;
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (any::<[u8; 16]>(), "[ -~]{0,400}").prop_map(|(sender, sig_text)| Request::Add {
-            sender,
-            sig_text,
-        }),
+        (any::<[u8; 16]>(), "[ -~]{0,400}")
+            .prop_map(|(sender, sig_text)| Request::Add { sender, sig_text }),
         any::<u64>().prop_map(|from| Request::Get { from }),
         any::<u64>().prop_map(|user| Request::IssueId { user }),
     ]
@@ -18,10 +16,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
     prop_oneof![
-        (any::<bool>(), "[ -~]{0,80}").prop_map(|(accepted, reason)| Reply::AddAck {
-            accepted,
-            reason,
-        }),
+        (any::<bool>(), "[ -~]{0,80}")
+            .prop_map(|(accepted, reason)| Reply::AddAck { accepted, reason }),
         (
             any::<u64>(),
             proptest::collection::vec("[ -~]{0,200}", 0..8)

@@ -18,9 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use communix_bytecode::{
-    ClassName, Instr, LockExpr, LoweredProgram, MethodRef, SyncSite,
-};
+use communix_bytecode::{ClassName, Instr, LockExpr, LoweredProgram, MethodRef, SyncSite};
 use communix_clock::{Clock, Duration, Instant, VirtualClock};
 use communix_dimmunix::{
     CallStack, CoreStats, DimmunixConfig, DimmunixCore, Event, Frame, History, LockId,
@@ -160,7 +158,9 @@ enum ThreadPhase {
     Ready,
     /// Parked in the core (blocked or suspended); on `Wake::Granted` the
     /// pending monitor enter completes.
-    Parked { lock: LockId },
+    Parked {
+        lock: LockId,
+    },
     Done(ThreadResult),
 }
 
@@ -334,8 +334,7 @@ impl Simulator {
                 blocks: end_stats.blocks - base_stats.blocks,
                 suspensions: end_stats.suspensions - base_stats.suspensions,
                 forced_grants: end_stats.forced_grants - base_stats.forced_grants,
-                deadlocks_detected: end_stats.deadlocks_detected
-                    - base_stats.deadlocks_detected,
+                deadlocks_detected: end_stats.deadlocks_detected - base_stats.deadlocks_detected,
                 aborts: end_stats.aborts - base_stats.aborts,
                 match_work: end_stats.match_work - base_stats.match_work,
             },
@@ -371,9 +370,8 @@ impl Simulator {
 
         match instr {
             Instr::Work { ticks } => {
-                threads[ti].ready_at = now + Duration::from_nanos(
-                    self.config.tick.as_nanos() as u64 * ticks as u64,
-                );
+                threads[ti].ready_at =
+                    now + Duration::from_nanos(self.config.tick.as_nanos() as u64 * ticks as u64);
                 Self::advance_pc(&mut threads[ti]);
             }
             Instr::Call { target, .. } => {
@@ -440,9 +438,7 @@ impl Simulator {
                 let delta = work - *prev_match_work;
                 *prev_match_work = work;
                 let cost = self.config.lock_op_cost
-                    + Duration::from_nanos(
-                        self.config.match_unit_cost.as_nanos() as u64 * delta,
-                    );
+                    + Duration::from_nanos(self.config.match_unit_cost.as_nanos() as u64 * delta);
                 match outcome {
                     RequestOutcome::Acquired => {
                         threads[ti].monitor_scope.push(lid);

@@ -187,7 +187,9 @@ impl DlxThread {
 
     /// Pushes a logical stack frame (entering a method / sync site).
     pub fn push_frame(&self, class: &str, method: &str, line: u32) {
-        self.stack.borrow_mut().push(Frame::new(class, method, line));
+        self.stack
+            .borrow_mut()
+            .push(Frame::new(class, method, line));
     }
 
     /// Pops the top logical stack frame.
@@ -256,11 +258,7 @@ impl DlxThread {
     /// # Errors
     ///
     /// Propagates [`DeadlockAborted`] from the acquisition.
-    pub fn with_lock<R>(
-        &self,
-        lock: LockId,
-        f: impl FnOnce() -> R,
-    ) -> Result<R, DeadlockAborted> {
+    pub fn with_lock<R>(&self, lock: LockId, f: impl FnOnce() -> R) -> Result<R, DeadlockAborted> {
         let guard = self.lock(lock)?;
         let r = f();
         drop(guard);
@@ -442,9 +440,9 @@ mod tests {
             t.push_frame("app.T1", "lockA", 10);
             let ga = t.lock(la).unwrap();
             b1.wait(); // t2 may now request B
-            // Wait until t2's request actually got suspended, so the
-            // avoidance path is provably exercised (bounded wait: t2 must
-            // suspend because we still hold A).
+                       // Wait until t2's request actually got suspended, so the
+                       // avoidance path is provably exercised (bounded wait: t2 must
+                       // suspend because we still hold A).
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
             while rt1.stats().suspensions == 0 {
                 assert!(

@@ -312,20 +312,12 @@ fn seeded_history_raises_match_work_and_virtual_time() {
         ThreadSpec::new("t.C", "ab", 1),
         ThreadSpec::new("t.C", "ba", 2),
     ];
-    let mut vanilla = Simulator::new(
-        p.clone(),
-        DimmunixConfig::vanilla(),
-        SimConfig::default(),
-    );
+    let mut vanilla = Simulator::new(p.clone(), DimmunixConfig::vanilla(), SimConfig::default());
     let v = vanilla.run(&specs);
     assert_eq!(v.stats.match_work, 0);
 
-    let mut protected = Simulator::with_history(
-        p,
-        DimmunixConfig::default(),
-        SimConfig::default(),
-        history,
-    );
+    let mut protected =
+        Simulator::with_history(p, DimmunixConfig::default(), SimConfig::default(), history);
     let g = protected.run(&specs);
     assert!(g.all_finished());
     assert!(g.stats.match_work > 0, "matching was charged");
@@ -342,12 +334,12 @@ fn explicit_lock_ops_are_invisible_to_dimmunix() {
     let p = lower(|b| {
         b.class("t.C")
             .plain_method("main", |s| {
-                s.explicit_lock("rl")
-                    .work(2)
-                    .explicit_unlock("rl")
-                    .sync(LockExpr::global("A"), |s| {
+                s.explicit_lock("rl").work(2).explicit_unlock("rl").sync(
+                    LockExpr::global("A"),
+                    |s| {
                         s.explicit_lock("rl2").explicit_unlock("rl2");
-                    });
+                    },
+                );
             })
             .done();
     });

@@ -265,10 +265,9 @@ mod tests {
     /// A depth-6, two-entry signature parameterized by `tag` (distinct
     /// tags ⇒ fully disjoint top frames).
     fn sig(tag: u32) -> Signature {
-        let deep =
-            |base: u32| -> Vec<(String, u32)> {
-                (0..6).map(|i| ("f".to_string(), base + i)).collect()
-            };
+        let deep = |base: u32| -> Vec<(String, u32)> {
+            (0..6).map(|i| ("f".to_string(), base + i)).collect()
+        };
         let mk = |base: u32| -> CallStack {
             deep(base)
                 .iter()
@@ -335,7 +334,13 @@ mod tests {
             sender: id,
             sig_text: "not a signature".into(),
         });
-        assert!(matches!(r, Reply::AddAck { accepted: false, .. }));
+        assert!(matches!(
+            r,
+            Reply::AddAck {
+                accepted: false,
+                ..
+            }
+        ));
     }
 
     #[test]

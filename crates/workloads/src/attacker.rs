@@ -171,10 +171,7 @@ impl AttackerFactory {
     pub fn adjacent_flood_signature(&self, user_tag: u64, k: u64) -> Signature {
         let base = self.flood_signature(user_tag, k);
         let fresh = self.flood_signature(user_tag ^ 0xDEAD_BEEF, k.wrapping_add(7777));
-        Signature::remote(vec![
-            base.entries()[0].clone(),
-            fresh.entries()[1].clone(),
-        ])
+        Signature::remote(vec![base.entries()[0].clone(), fresh.entries()[1].clone()])
     }
 
     /// The §IV-B flood volume: `attackers × ids_per_attacker × 10`
@@ -224,8 +221,7 @@ mod tests {
     fn critical_attack_covers_all_sections() {
         let app = DriverApp::build(&tiny());
         let hot = app.hot_sections();
-        let plan =
-            AttackerFactory::new().critical_path_attack(&hot, 8, AttackDepth::Five);
+        let plan = AttackerFactory::new().critical_path_attack(&hot, 8, AttackDepth::Five);
         assert_eq!(plan.len(), 8);
         assert_eq!(plan.covered_sections(), 4);
         for sig in plan.signatures() {
@@ -253,10 +249,16 @@ mod tests {
         let hot = app.hot_sections();
         let cold = app.cold_sections();
 
-        let d5 = app
-            .overhead_vs_vanilla(factory.critical_path_attack(&hot, 8, AttackDepth::Five).as_history());
-        let d1 = app
-            .overhead_vs_vanilla(factory.critical_path_attack(&hot, 8, AttackDepth::One).as_history());
+        let d5 = app.overhead_vs_vanilla(
+            factory
+                .critical_path_attack(&hot, 8, AttackDepth::Five)
+                .as_history(),
+        );
+        let d1 = app.overhead_vs_vanilla(
+            factory
+                .critical_path_attack(&hot, 8, AttackDepth::One)
+                .as_history(),
+        );
         let off = app.overhead_vs_vanilla(factory.off_path_attack(&cold, 4).as_history());
 
         assert!(d5 > 0.02, "depth-5 attack must visibly slow down: {d5}");
@@ -298,8 +300,7 @@ mod tests {
         let flood = f.daily_flood(10, 5, 10);
         assert_eq!(flood.len(), 10 * 5 * 10);
         // Distinct users appear.
-        let users: std::collections::BTreeSet<u64> =
-            flood.iter().map(|(u, _)| *u).collect();
+        let users: std::collections::BTreeSet<u64> = flood.iter().map(|(u, _)| *u).collect();
         assert_eq!(users.len(), 50);
     }
 
@@ -307,8 +308,7 @@ mod tests {
     fn attack_history_roundtrip() {
         let app = DriverApp::build(&tiny());
         let hot = app.hot_sections();
-        let plan =
-            AttackerFactory::new().critical_path_attack(&hot, 3, AttackDepth::Five);
+        let plan = AttackerFactory::new().critical_path_attack(&hot, 3, AttackDepth::Five);
         let h: History = plan.as_history();
         assert_eq!(h.len(), 3);
     }

@@ -17,7 +17,9 @@
 //! simulator into the deadlock interleaving (and, once a signature is in
 //! the history, into the avoidance path instead).
 
-use communix_bytecode::{ClassBuilder, LockExpr, LoweredProgram, Program, ProgramBuilder, StmtSink};
+use communix_bytecode::{
+    ClassBuilder, LockExpr, LoweredProgram, Program, ProgramBuilder, StmtSink,
+};
 use communix_runtime::ThreadSpec;
 
 /// Work ticks inside the outer critical section before the inner
@@ -59,10 +61,7 @@ fn chain<'p>(
 }
 
 /// Fills a leaf with `sync(first) { work; sync(second) { work } }`.
-fn inversion_leaf(
-    first: String,
-    second: String,
-) -> impl FnOnce(&mut StmtSink<'_>) {
+fn inversion_leaf(first: String, second: String) -> impl FnOnce(&mut StmtSink<'_>) {
     move |s| {
         s.sync(LockExpr::global(first), |s| {
             s.work(HOLD_TICKS).sync(LockExpr::global(second), |s| {
@@ -367,7 +366,11 @@ mod tests {
     use communix_runtime::{SimConfig, Simulator};
 
     fn sim_for(app: &DeadlockApp) -> Simulator {
-        Simulator::new(app.lowered(), DimmunixConfig::default(), SimConfig::default())
+        Simulator::new(
+            app.lowered(),
+            DimmunixConfig::default(),
+            SimConfig::default(),
+        )
     }
 
     #[test]

@@ -315,12 +315,8 @@ impl DriverApp {
     pub fn run(&self, history: History, avoidance: bool) -> SimOutcome {
         let mut dimmunix = DimmunixConfig::default();
         dimmunix.avoidance = avoidance;
-        let mut sim = Simulator::with_history(
-            self.lowered(),
-            dimmunix,
-            SimConfig::default(),
-            history,
-        );
+        let mut sim =
+            Simulator::with_history(self.lowered(), dimmunix, SimConfig::default(), history);
         sim.run(&self.specs())
     }
 
@@ -397,10 +393,12 @@ fn extract_section(program: &Program, index: usize, cold: bool) -> Section {
     ]
     .into_iter()
     .collect();
-    let top_only_stack: CallStack =
-        vec![Frame::new(&class, "sect", outer_line)].into_iter().collect();
-    let inner_stack: CallStack =
-        vec![Frame::new(&class, "sect", inner_line)].into_iter().collect();
+    let top_only_stack: CallStack = vec![Frame::new(&class, "sect", outer_line)]
+        .into_iter()
+        .collect();
+    let inner_stack: CallStack = vec![Frame::new(&class, "sect", inner_line)]
+        .into_iter()
+        .collect();
     Section {
         index,
         class: ClassName::new(class.clone()),
@@ -445,10 +443,7 @@ mod tests {
         for s in app.sections() {
             assert_eq!(s.critical_stack.depth(), 5);
             assert_eq!(s.top_only_stack.depth(), 1);
-            assert_eq!(
-                s.critical_stack.top().unwrap().site.line,
-                s.outer_site.line
-            );
+            assert_eq!(s.critical_stack.top().unwrap().site.line, s.outer_site.line);
             assert_ne!(s.outer_site, s.inner_site);
         }
     }

@@ -102,14 +102,19 @@ impl AppProfile {
 
         // Nested patterns: sync(A_i) { work; sync(B_i) { work } }, one
         // method per pattern, grouped ~8 patterns per class.
-        for (ci, chunk) in (0..nested_patterns).collect::<Vec<_>>().chunks(8).enumerate() {
+        for (ci, chunk) in (0..nested_patterns)
+            .collect::<Vec<_>>()
+            .chunks(8)
+            .enumerate()
+        {
             let mut cb = b.class(&format!("{pkg}.nested.C{ci}"));
             for &i in chunk {
                 cb = cb.plain_method(&format!("nested{i}"), |s| {
                     s.sync(LockExpr::global(format!("{pkg}.A{i}")), |s| {
-                        s.work(2).sync(LockExpr::global(format!("{pkg}.B{i}")), |s| {
-                            s.work(1);
-                        });
+                        s.work(2)
+                            .sync(LockExpr::global(format!("{pkg}.B{i}")), |s| {
+                                s.work(1);
+                            });
                     });
                 });
             }
@@ -135,11 +140,7 @@ impl AppProfile {
 
         // Opaque sites: sync blocks inside methods whose CFG the analyzer
         // cannot retrieve.
-        for (ci, chunk) in (0..opaque_sites)
-            .collect::<Vec<_>>()
-            .chunks(16)
-            .enumerate()
-        {
+        for (ci, chunk) in (0..opaque_sites).collect::<Vec<_>>().chunks(16).enumerate() {
             let mut cb = b.class(&format!("{pkg}.opaque.C{ci}"));
             for &i in chunk {
                 cb = cb.opaque_method(&format!("native{i}"), |s| {

@@ -179,9 +179,7 @@ fn community_coverage(rng: &mut StdRng, params: &ProtectionParams) -> f64 {
     let nd = params.manifestations;
     let aggregate_mean = params.mean_days / params.users as f64;
     match params.model {
-        EncounterModel::DistinctRuns => {
-            (0..nd).map(|_| exp_sample(rng, aggregate_mean)).sum()
-        }
+        EncounterModel::DistinctRuns => (0..nd).map(|_| exp_sample(rng, aggregate_mean)).sum(),
         EncounterModel::UniformRandom => {
             let mut seen = vec![false; nd];
             let mut remaining = nd;
@@ -223,15 +221,13 @@ mod tests {
         let p = params(10, EncounterModel::DistinctRuns);
         let r = simulate(&p);
         assert!(
-            (r.dimmunix_days - r.closed_form_dimmunix).abs()
-                < TOL * r.closed_form_dimmunix,
+            (r.dimmunix_days - r.closed_form_dimmunix).abs() < TOL * r.closed_form_dimmunix,
             "dimmunix {} vs closed {}",
             r.dimmunix_days,
             r.closed_form_dimmunix
         );
         assert!(
-            (r.communix_days - r.closed_form_communix).abs()
-                < TOL * r.closed_form_communix,
+            (r.communix_days - r.closed_form_communix).abs() < TOL * r.closed_form_communix,
             "communix {} vs closed {}",
             r.communix_days,
             r.closed_form_communix
@@ -243,7 +239,11 @@ mod tests {
         let r10 = simulate(&params(10, EncounterModel::DistinctRuns));
         let r100 = simulate(&params(100, EncounterModel::DistinctRuns));
         // Speed-up ≈ Nu.
-        assert!((r10.speedup() - 10.0).abs() < 10.0 * 2.0 * TOL, "{}", r10.speedup());
+        assert!(
+            (r10.speedup() - 10.0).abs() < 10.0 * 2.0 * TOL,
+            "{}",
+            r10.speedup()
+        );
         assert!(
             (r100.speedup() - 100.0).abs() < 100.0 * 2.0 * TOL,
             "{}",

@@ -122,21 +122,15 @@ impl SigGen {
                     // Variant-specific bottom frame, then four fixed
                     // filler frames, then the nested top frame: depth 6,
                     // common suffix (across variants) of depth 5.
-                    let mut frames = vec![Frame::with_hash(
-                        class,
-                        method,
-                        90_000 + variant,
-                        h,
-                    )];
-                    frames.extend((0..4).map(|d| {
-                        Frame::with_hash(class, method, 80_000 + salt * 10 + d, h)
-                    }));
+                    let mut frames = vec![Frame::with_hash(class, method, 90_000 + variant, h)];
+                    frames.extend(
+                        (0..4).map(|d| Frame::with_hash(class, method, 80_000 + salt * 10 + d, h)),
+                    );
                     frames.push(Frame::with_hash(class, method, site.line, h));
                     let outer: CallStack = frames.into_iter().collect();
-                    let inner: CallStack =
-                        vec![Frame::with_hash(class, method, 70_000 + salt, h)]
-                            .into_iter()
-                            .collect();
+                    let inner: CallStack = vec![Frame::with_hash(class, method, 70_000 + salt, h)]
+                        .into_iter()
+                        .collect();
                     SigEntry::new(outer, inner)
                 };
                 Signature::remote(vec![entry(site_a, 1), entry(site_b, 2)])

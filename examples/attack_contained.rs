@@ -131,7 +131,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             other => format!("{other:?}"),
         }
     );
-    assert!(matches!(verdict, Err(ValidationError::OuterTooShallow { .. })));
+    assert!(matches!(
+        verdict,
+        Err(ValidationError::OuterTooShallow { .. })
+    ));
 
     // Outer stacks ending at a NON-nested site (the inner block) bounce.
     let deep_but_wrong: communix::dimmunix::CallStack = {

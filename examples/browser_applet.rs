@@ -31,11 +31,7 @@ fn browser_page() -> ManifestationApp {
     ManifestationApp::new(3, 3)
 }
 
-fn open_page(
-    browser: &mut CommunixNode,
-    page: usize,
-    app: &ManifestationApp,
-) -> (usize, bool) {
+fn open_page(browser: &mut CommunixNode, page: usize, app: &ManifestationApp) -> (usize, bool) {
     let specs: Vec<ThreadSpec> = app.deadlock_specs(page);
     let outcome = browser.run(&specs);
     (outcome.deadlocks.len(), outcome.all_finished())
@@ -105,7 +101,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     carol.startup();
 
     let (deadlocks, _) = open_page(&mut carol, 1, &app);
-    println!("carol : a *different* page embeds the applet — {deadlocks} deadlock (new manifestation)");
+    println!(
+        "carol : a *different* page embeds the applet — {deadlocks} deadlock (new manifestation)"
+    );
     assert_eq!(deadlocks, 1, "alice's signature does not cover page 1");
     carol.upload_pending(&mut carol_conn)?;
 

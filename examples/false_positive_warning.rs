@@ -36,11 +36,8 @@ fn main() {
     // A signature that *looks* like a deadlock but never comes true —
     // exactly what an overly general (or malicious) signature does to a
     // deadlock-prone-but-fine code path.
-    let plan = AttackerFactory::new().critical_path_attack(
-        &app.hot_sections(),
-        4,
-        AttackDepth::One,
-    );
+    let plan =
+        AttackerFactory::new().critical_path_attack(&app.hot_sections(), 4, AttackDepth::One);
 
     println!("== run 1: history contains 4 never-vindicated signatures ==");
     let vanilla = app.run_vanilla();

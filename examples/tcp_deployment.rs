@@ -95,12 +95,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Hand the daemon's repository to node B and go through the agent
     // lifecycle: startup (defer) → shutdown (analyze + recheck) → run.
     let repo_inner = std::mem::take(&mut *repo.lock());
-    let mut b =
-        CommunixNode::with_repo(app.program().clone(), NodeConfig::for_user(2), repo_inner);
+    let mut b = CommunixNode::with_repo(app.program().clone(), NodeConfig::for_user(2), repo_inner);
     b.startup();
     b.shutdown();
     b.startup();
-    println!("node B: history primed with {} signature(s)", b.history().len());
+    println!(
+        "node B: history primed with {} signature(s)",
+        b.history().len()
+    );
 
     let outcome = b.run(&app.deadlock_specs());
     println!(

@@ -8,9 +8,7 @@ use std::sync::Arc;
 use communix::clock::{VirtualClock, DAY};
 use communix::net::{Reply, Request};
 use communix::server::{CommunixServer, ServerConfig};
-use communix::workloads::{
-    AttackDepth, AttackerFactory, DriverApp, DriverProfile, SigGen, JBOSS,
-};
+use communix::workloads::{AttackDepth, AttackerFactory, DriverApp, DriverProfile, SigGen, JBOSS};
 use communix::{CommunixNode, NodeConfig};
 
 fn tiny_driver() -> DriverProfile {
@@ -66,18 +64,30 @@ fn adjacency_rejection_is_per_sender_not_global() {
     let id1 = srv.authority().issue(1);
     let id2 = srv.authority().issue(2);
     assert!(matches!(
-        srv.handle(Request::Add { sender: id1, sig_text: base.to_string() }),
+        srv.handle(Request::Add {
+            sender: id1,
+            sig_text: base.to_string()
+        }),
         Reply::AddAck { accepted: true, .. }
     ));
     // Same sender: rejected.
     assert!(matches!(
-        srv.handle(Request::Add { sender: id1, sig_text: adjacent.to_string() }),
-        Reply::AddAck { accepted: false, .. }
+        srv.handle(Request::Add {
+            sender: id1,
+            sig_text: adjacent.to_string()
+        }),
+        Reply::AddAck {
+            accepted: false,
+            ..
+        }
     ));
     // Different sender: accepted — "the signatures wrongly rejected due
     // to this restriction can be provided by other users."
     assert!(matches!(
-        srv.handle(Request::Add { sender: id2, sig_text: adjacent.to_string() }),
+        srv.handle(Request::Add {
+            sender: id2,
+            sig_text: adjacent.to_string()
+        }),
         Reply::AddAck { accepted: true, .. }
     ));
 }

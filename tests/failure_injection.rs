@@ -116,7 +116,13 @@ fn server_clock_abuse_cannot_bank_budget() {
         sender: id,
         sig_text: gen.random_signature().to_string(),
     });
-    assert!(matches!(r, Reply::AddAck { accepted: false, .. }));
+    assert!(matches!(
+        r,
+        Reply::AddAck {
+            accepted: false,
+            ..
+        }
+    ));
 
     // …until a full day has passed since the burst.
     clock.advance(DAY / 2 + communix::clock::Duration::from_secs(1));
@@ -129,8 +135,8 @@ fn server_clock_abuse_cannot_bank_budget() {
 
 #[test]
 fn malformed_wire_payloads_produce_errors_not_panics() {
-    use communix::net::{deframe, CodecError, MAX_FRAME};
     use bytes::BytesMut;
+    use communix::net::{deframe, CodecError, MAX_FRAME};
 
     // Frame longer than the hard cap.
     let mut buf = BytesMut::new();

@@ -18,9 +18,7 @@ fn server() -> Arc<CommunixServer> {
     ))
 }
 
-fn connector(
-    server: &Arc<CommunixServer>,
-) -> impl FnMut(Request) -> Result<Reply, String> {
+fn connector(server: &Arc<CommunixServer>) -> impl FnMut(Request) -> Result<Reply, String> {
     let server = server.clone();
     move |req| Ok(server.handle(req))
 }
@@ -33,8 +31,7 @@ fn community_converges_to_one_signature_covering_all_paths() {
 
     // Users 0..3 each hit the bug through their own path and share it.
     for user in 0..paths {
-        let mut node =
-            CommunixNode::new(app.program().clone(), NodeConfig::for_user(user as u64));
+        let mut node = CommunixNode::new(app.program().clone(), NodeConfig::for_user(user as u64));
         let mut conn = connector(&srv);
         node.obtain_id(&mut conn).unwrap();
         node.startup();
@@ -115,8 +112,7 @@ fn local_and_remote_signatures_of_same_bug_merge_in_history() {
     let app = ManifestationApp::new(2, 3);
 
     // Remote discovery by user 0 via path 1.
-    let mut remote_victim =
-        CommunixNode::new(app.program().clone(), NodeConfig::for_user(0));
+    let mut remote_victim = CommunixNode::new(app.program().clone(), NodeConfig::for_user(0));
     let mut conn = connector(&srv);
     remote_victim.obtain_id(&mut conn).unwrap();
     remote_victim.startup();
@@ -154,8 +150,7 @@ fn same_bug_reuploads_are_deduplicated_server_side() {
     let srv = server();
     let app = ManifestationApp::new(2, 3);
     for user in 0..2 {
-        let mut node =
-            CommunixNode::new(app.program().clone(), NodeConfig::for_user(user));
+        let mut node = CommunixNode::new(app.program().clone(), NodeConfig::for_user(user));
         let mut conn = connector(&srv);
         node.obtain_id(&mut conn).unwrap();
         node.startup();

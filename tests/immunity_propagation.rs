@@ -17,9 +17,7 @@ fn server() -> Arc<CommunixServer> {
     ))
 }
 
-fn connector(
-    server: &Arc<CommunixServer>,
-) -> impl FnMut(Request) -> Result<Reply, String> {
+fn connector(server: &Arc<CommunixServer>) -> impl FnMut(Request) -> Result<Reply, String> {
     let server = server.clone();
     move |req| Ok(server.handle(req))
 }

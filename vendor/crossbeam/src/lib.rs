@@ -1,0 +1,144 @@
+//! Minimal in-tree stand-in for the `crossbeam` crate.
+//!
+//! Offline build: only `crossbeam::channel` is provided, implemented over
+//! `std::sync::mpsc` with the crossbeam surface the workspace uses
+//! (`bounded`, cloneable `Sender`, `try_send`, `recv_timeout`).
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected and the channel is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full.
+        Full(T),
+        /// The receiver disconnected.
+        Disconnected(T),
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Attempts to send without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when the buffer is full,
+        /// [`TrySendError::Disconnected`] when the receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+
+        /// Sends, blocking while the buffer is full. Errors (receiver
+        /// gone) return the value back.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value when the receiver disconnected.
+        pub fn send(&self, value: T) -> Result<(), T> {
+            self.inner.send(value).map_err(|e| e.0)
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for up to `timeout` waiting for a message.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] or [`RecvTimeoutError::Disconnected`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Errs when all senders disconnected and the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            self.inner
+                .recv()
+                .map_err(|_| RecvTimeoutError::Disconnected)
+        }
+    }
+
+    /// Creates a bounded channel with buffer capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_timeout() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.try_send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn full_buffer_rejects() {
+            let (tx, _rx) = bounded::<u32>(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        }
+    }
+}

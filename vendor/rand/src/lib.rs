@@ -1,0 +1,256 @@
+//! Minimal in-tree stand-in for the `rand` crate (0.8-era API subset).
+//!
+//! Offline build: provides `Rng::{gen, gen_range, gen_bool}`,
+//! `SeedableRng::seed_from_u64`, and `rngs::StdRng` backed by
+//! xoshiro256**, which is statistically strong enough for the Monte-Carlo
+//! workloads and benchmark input generation in this workspace. Streams do
+//! NOT match the real `rand` crate bit-for-bit; nothing in the workspace
+//! depends on the exact stream, only on determinism per seed.
+
+/// Sampling distributions support (subset: the standard distribution).
+pub mod distributions {
+    /// Marker for the standard distribution of a type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+}
+
+/// Types that can be sampled from [`distributions::Standard`].
+pub trait SampleUniform: Sized {
+    /// Samples a value uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low must be < high");
+                let span = (high as u128) - (low as u128);
+                // Rejection-free modulo bias is negligible for the spans
+                // used here (all far below 2^64), but apply widening
+                // multiply reduction for uniformity anyway.
+                let r = rng.next_u64() as u128;
+                low + ((r * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: low must be < high");
+                let span = (high as i128 - low as i128) as u128;
+                let r = rng.next_u64() as u128;
+                (low as i128 + ((r * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: low must be < high");
+        // The multiply-add can round up to exactly `high` when the span is
+        // small relative to `low`'s magnitude; clamp to keep the bound
+        // exclusive.
+        let v = low + (high - low) * rng.next_f64();
+        if v < high {
+            v
+        } else {
+            high.next_down().max(low)
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u8
+    }
+}
+impl StandardSample for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+impl StandardSample for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardSample for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl StandardSample for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl StandardSample for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// The raw generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// High-level sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform sample from a range.
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        T: SampleUniform,
+        B: RangeBounds<T>,
+    {
+        let (low, high) = range.into_bounds();
+        T::sample_range(self, low, high)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Range-argument adapter for [`Rng::gen_range`] (accepts `a..b`).
+pub trait RangeBounds<T> {
+    /// Decomposes into `(low, high)` with `high` exclusive.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl<T> RangeBounds<T> for std::ops::Range<T> {
+    fn into_bounds(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = r.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
