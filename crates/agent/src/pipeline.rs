@@ -166,10 +166,7 @@ impl CommunixAgent {
         let start = Instant::now();
         let mut report = StartupReport::default();
         let validator = self.validator(app_hashes);
-        let pending = match repo.take_nesting_retries() {
-            Ok(p) => p,
-            Err(_) => Vec::new(),
-        };
+        let pending = repo.take_nesting_retries().unwrap_or_default();
         let mut retries = Vec::new();
         for (idx, text) in pending {
             report.inspected += 1;

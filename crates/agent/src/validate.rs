@@ -210,12 +210,12 @@ impl<'a> SignatureValidator<'a> {
             return Ok(stack.clone());
         };
         // Top frame must verify.
-        self.frame_matches(top, true)?;
+        self.frame_matches(top)?;
         // Walk down from the frame below the top; the first mismatch
         // trims everything below (and including) it.
         let mut keep_from = 0;
         for (i, frame) in frames.iter().enumerate().rev().skip(1) {
-            if self.frame_matches(frame, false).is_err() {
+            if self.frame_matches(frame).is_err() {
                 keep_from = i + 1;
                 break;
             }
@@ -225,21 +225,11 @@ impl<'a> SignatureValidator<'a> {
         Ok(out)
     }
 
-    fn frame_matches(
-        &self,
-        frame: &communix_dimmunix::Frame,
-        is_top: bool,
-    ) -> Result<(), ValidationError> {
+    fn frame_matches(&self, frame: &communix_dimmunix::Frame) -> Result<(), ValidationError> {
         let class = frame.site.class.as_ref();
         let Some(app_hash) = self.hashes.get(class) else {
-            return Err(if is_top {
-                ValidationError::UnknownClass {
-                    class: class.to_string(),
-                }
-            } else {
-                ValidationError::UnknownClass {
-                    class: class.to_string(),
-                }
+            return Err(ValidationError::UnknownClass {
+                class: class.to_string(),
             });
         };
         let Some(sig_hash) = &frame.hash else {

@@ -46,7 +46,7 @@ fn sweep_point(n: usize) -> f64 {
     // figure measures the server, not the workload generator.
     let jobs: Vec<Vec<(Request, u64)>> = (0..workers)
         .map(|w| {
-            let mut gen = SigGen::new(0xF16_2 ^ w as u64);
+            let mut gen = SigGen::new(0xF162 ^ w as u64);
             let lo = n * w / workers;
             let hi = n * (w + 1) / workers;
             (lo..hi)

@@ -48,7 +48,7 @@ fn simnet_point(clients: usize) -> (f64, u64) {
     let mut queues: Vec<Vec<String>> = Vec::with_capacity(clients);
     let mut ids = Vec::with_capacity(clients);
     for c in 0..clients {
-        let mut gen = SigGen::new(0xF16_3 ^ c as u64);
+        let mut gen = SigGen::new(0xF163 ^ c as u64);
         queues.push(
             (0..ROUNDS)
                 .map(|_| gen.random_signature().to_string())
@@ -80,8 +80,8 @@ fn simnet_point(clients: usize) -> (f64, u64) {
     };
 
     // Every client fires its first ADD at t = 0.
-    for c in 0..clients {
-        send_add(&mut net, &mut queues, c, ids[c]);
+    for (c, &id) in ids.iter().enumerate() {
+        send_add(&mut net, &mut queues, c, id);
     }
 
     while let Some(d) = net.next_delivery() {

@@ -61,7 +61,7 @@ fn main() {
         let mut agent = CommunixAgent::new(AgentConfig::default());
         let analysis_time = agent.run_nesting_analysis(&lowered);
 
-        let mut gen = SigGen::new(0xF16_4);
+        let mut gen = SigGen::new(0xF164);
         let report = agent.nesting().expect("analysis ran");
         let texts =
             gen.valid_remote_sig_texts(&program, report, *sig_counts.last().expect("non-empty"));

@@ -258,8 +258,10 @@ impl Program {
 
     /// Whole-program statistics, matching the columns of Table I.
     pub fn stats(&self) -> ProgramStats {
-        let mut stats = ProgramStats::default();
-        stats.classes = self.classes.len();
+        let mut stats = ProgramStats {
+            classes: self.classes.len(),
+            ..ProgramStats::default()
+        };
         for class in self.classes.values() {
             stats.loc += class.loc();
             stats.sync_blocks_and_methods += class.sync_block_count();

@@ -236,7 +236,7 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut v = vec![
+        let mut v = [
             SyncSite::new("b.B", "m", 1),
             SyncSite::new("a.A", "m", 2),
             SyncSite::new("a.A", "m", 1),

@@ -16,7 +16,7 @@ use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
 use crate::repo::LocalRepository;
-use crate::sync::{sync_once, Connector};
+use crate::sync::{sync_delta, sync_once, Connector};
 
 /// Statistics of a running daemon.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,11 +43,40 @@ impl ClientDaemon {
     pub const DEFAULT_PERIOD: Duration = Duration::from_secs(24 * 60 * 60);
 
     /// Spawns a daemon that syncs `repo` through `connector` every
-    /// `period`. The first sync runs immediately.
+    /// `period` using the single-signature `GET(n)` protocol. The first
+    /// sync runs immediately.
     pub fn spawn<C>(
+        connector: C,
+        repo: Arc<Mutex<LocalRepository>>,
+        period: Duration,
+    ) -> ClientDaemon
+    where
+        C: Connector + Send + 'static,
+    {
+        Self::spawn_impl(connector, repo, period, None)
+    }
+
+    /// Like [`ClientDaemon::spawn`], but syncs through the batched
+    /// `GET_DELTA` protocol with `window` signatures per reply (0 defers
+    /// to the server's window) — one round trip per sync against a
+    /// batching server.
+    pub fn spawn_batched<C>(
+        connector: C,
+        repo: Arc<Mutex<LocalRepository>>,
+        period: Duration,
+        window: u32,
+    ) -> ClientDaemon
+    where
+        C: Connector + Send + 'static,
+    {
+        Self::spawn_impl(connector, repo, period, Some(window))
+    }
+
+    fn spawn_impl<C>(
         mut connector: C,
         repo: Arc<Mutex<LocalRepository>>,
         period: Duration,
+        batched_window: Option<u32>,
     ) -> ClientDaemon
     where
         C: Connector + Send + 'static,
@@ -60,7 +89,11 @@ impl ClientDaemon {
                 let mut repo = repo.lock();
                 let mut stats = stats2.lock();
                 stats.rounds += 1;
-                match sync_once(&mut connector, &mut repo) {
+                let synced = match batched_window {
+                    Some(window) => sync_delta(&mut connector, &mut repo, window),
+                    None => sync_once(&mut connector, &mut repo),
+                };
+                match synced {
                     Ok(n) => stats.downloaded += n as u64,
                     Err(_) => stats.failures += 1,
                 }
@@ -139,7 +172,7 @@ mod tests {
         let calls2 = calls.clone();
         let conn = move |req: Request| -> Result<Reply, String> {
             let n = calls2.fetch_add(1, Ordering::SeqCst);
-            if n % 2 == 0 {
+            if n.is_multiple_of(2) {
                 Err("server down".into())
             } else {
                 match req {
@@ -158,6 +191,37 @@ mod tests {
         let stats = daemon.stats();
         assert!(stats.failures >= 1);
         assert!(stats.rounds >= stats.failures);
+    }
+
+    #[test]
+    fn batched_daemon_syncs_through_get_delta() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = calls.clone();
+        let conn = move |req: Request| -> Result<Reply, String> {
+            let n = calls2.fetch_add(1, Ordering::SeqCst);
+            match req {
+                Request::GetDelta { from, .. } => Ok(Reply::Delta {
+                    from,
+                    total: from + 2,
+                    // Two new signatures per round, in one window.
+                    sigs: vec![format!("a{n}"), format!("b{n}")],
+                }),
+                other => Err(format!("daemon must use GET_DELTA, sent {other:?}")),
+            }
+        };
+        let repo = Arc::new(Mutex::new(LocalRepository::in_memory()));
+        let mut daemon =
+            ClientDaemon::spawn_batched(conn, repo.clone(), Duration::from_millis(10), 0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while calls.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        daemon.shutdown();
+        let stats = daemon.stats();
+        assert!(stats.rounds >= 3, "rounds={}", stats.rounds);
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.downloaded, 2 * stats.rounds);
+        assert_eq!(repo.lock().len() as u64, stats.downloaded);
     }
 
     #[test]

@@ -10,4 +10,6 @@ mod sync;
 
 pub use daemon::{ClientDaemon, DaemonStats};
 pub use repo::LocalRepository;
-pub use sync::{obtain_id, sync_once, upload_signature, Connector, SyncError};
+pub use sync::{
+    obtain_id, sync_delta, sync_once, upload_batch, upload_signature, Connector, SyncError,
+};

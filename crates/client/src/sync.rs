@@ -3,10 +3,18 @@
 //! [`Connector`] abstracts "a way to reach the server": over TCP in real
 //! deployments, in-process for tests and the Figure 2 benchmark, or
 //! through the simulated network for Figure 3.
+//!
+//! Two sync flavors share the connector:
+//!
+//! * the paper's single-signature protocol — [`sync_once`] /
+//!   [`upload_signature`], one round trip per signature;
+//! * the batched protocol — [`sync_delta`] / [`upload_batch`], one round
+//!   trip per *sync* (the server windows oversized deltas, and the
+//!   client loops only when a window was cut short).
 
 use std::fmt;
 
-use communix_net::{EncryptedId, Reply, Request};
+use communix_net::{AddResult, BatchAdd, EncryptedId, Reply, Request};
 
 use crate::repo::LocalRepository;
 
@@ -118,6 +126,108 @@ pub fn upload_signature(
     }
 }
 
+/// Downloads everything the repository is missing through windowed
+/// `GET_DELTA` requests: usually a single round trip, with follow-up
+/// windows only when the server capped the reply. `max_per_round == 0`
+/// defers the window size entirely to the server.
+///
+/// Returns the number of new signatures stored.
+///
+/// # Errors
+///
+/// Returns [`SyncError`] on transport, protocol, or persistence
+/// failures. Fully received windows are kept: a failure mid-pagination
+/// loses only the not-yet-requested tail, which the next sync fetches.
+pub fn sync_delta(
+    connector: &mut dyn Connector,
+    repo: &mut LocalRepository,
+    max_per_round: u32,
+) -> Result<usize, SyncError> {
+    let mut downloaded = 0;
+    loop {
+        let from = repo.len() as u64;
+        let reply = connector
+            .call(Request::GetDelta {
+                from,
+                max: max_per_round,
+            })
+            .map_err(SyncError::Transport)?;
+        match reply {
+            Reply::Delta {
+                from: got_from,
+                total,
+                sigs,
+            } => {
+                if got_from != from {
+                    return Err(SyncError::Protocol(format!(
+                        "asked for delta from index {from}, server answered from {got_from}"
+                    )));
+                }
+                if from + sigs.len() as u64 > total {
+                    return Err(SyncError::Protocol(format!(
+                        "delta overruns the server's own total: {from} + {} > {total}",
+                        sigs.len()
+                    )));
+                }
+                let got = sigs.len();
+                downloaded += repo.append(sigs)?;
+                if repo.len() as u64 >= total {
+                    return Ok(downloaded);
+                }
+                if got == 0 {
+                    return Err(SyncError::Protocol(format!(
+                        "server reports {total} total but sent an empty window at {from}"
+                    )));
+                }
+            }
+            Reply::Error { message } => return Err(SyncError::Protocol(message)),
+            other => {
+                return Err(SyncError::Protocol(format!(
+                    "unexpected reply to GET_DELTA: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Uploads many signatures in one `ADD_BATCH` round trip. Each item
+/// carries its own sender id and receives its own verdict, in order —
+/// one rejected item never poisons the rest of the batch.
+///
+/// # Errors
+///
+/// Returns [`SyncError`] on transport or protocol failures, including a
+/// server ack that does not match the batch item-for-item.
+pub fn upload_batch(
+    connector: &mut dyn Connector,
+    adds: Vec<(EncryptedId, String)>,
+) -> Result<Vec<AddResult>, SyncError> {
+    let sent = adds.len();
+    let reply = connector
+        .call(Request::AddBatch {
+            adds: adds
+                .into_iter()
+                .map(|(sender, sig_text)| BatchAdd { sender, sig_text })
+                .collect(),
+        })
+        .map_err(SyncError::Transport)?;
+    match reply {
+        Reply::BatchAck { results } => {
+            if results.len() != sent {
+                return Err(SyncError::Protocol(format!(
+                    "sent a batch of {sent}, server acked {}",
+                    results.len()
+                )));
+            }
+            Ok(results)
+        }
+        Reply::Error { message } => Err(SyncError::Protocol(message)),
+        other => Err(SyncError::Protocol(format!(
+            "unexpected reply to ADD_BATCH: {other:?}"
+        ))),
+    }
+}
+
 /// Requests an encrypted id for `user` from the server's id authority.
 ///
 /// # Errors
@@ -216,6 +326,163 @@ mod tests {
             sync_once(&mut conn, &mut repo),
             Err(SyncError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn sync_delta_single_round_trip_when_window_fits() {
+        let mut repo = LocalRepository::in_memory();
+        let mut calls = 0;
+        let mut conn = |req: Request| -> Result<Reply, String> {
+            calls += 1;
+            match req {
+                Request::GetDelta { from, .. } => {
+                    assert_eq!(from, 0);
+                    Ok(Reply::Delta {
+                        from,
+                        total: 3,
+                        sigs: vec!["a".into(), "b".into(), "c".into()],
+                    })
+                }
+                other => Err(format!("unexpected {other:?}")),
+            }
+        };
+        let n = sync_delta(&mut conn, &mut repo, 0).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(repo.len(), 3);
+        assert_eq!(calls, 1, "everything fits: one round trip");
+    }
+
+    #[test]
+    fn sync_delta_paginates_capped_windows() {
+        let mut repo = LocalRepository::in_memory();
+        let server: Vec<String> = (0..7).map(|i| format!("s{i}")).collect();
+        let mut calls = 0;
+        let mut conn = |req: Request| -> Result<Reply, String> {
+            calls += 1;
+            match req {
+                Request::GetDelta { from, max } => {
+                    let from = from as usize;
+                    let to = (from + max as usize).min(server.len());
+                    Ok(Reply::Delta {
+                        from: from as u64,
+                        total: server.len() as u64,
+                        sigs: server[from..to].to_vec(),
+                    })
+                }
+                other => Err(format!("unexpected {other:?}")),
+            }
+        };
+        let n = sync_delta(&mut conn, &mut repo, 3).unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(calls, 3, "7 signatures in windows of 3");
+        assert_eq!(repo.sig(6), Some("s6"));
+    }
+
+    #[test]
+    fn sync_delta_rejects_stalled_server() {
+        // A server that reports more signatures than it ships must not
+        // spin the client forever.
+        let mut repo = LocalRepository::in_memory();
+        let mut conn = |_req: Request| -> Result<Reply, String> {
+            Ok(Reply::Delta {
+                from: 0,
+                total: 5,
+                sigs: vec![],
+            })
+        };
+        assert!(matches!(
+            sync_delta(&mut conn, &mut repo, 0),
+            Err(SyncError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn sync_delta_rejects_overrunning_window() {
+        let mut repo = LocalRepository::in_memory();
+        let mut conn = Script(vec![Reply::Delta {
+            from: 0,
+            total: 1,
+            sigs: vec!["a".into(), "b".into()],
+        }]);
+        assert!(matches!(
+            sync_delta(&mut conn, &mut repo, 0),
+            Err(SyncError::Protocol(_))
+        ));
+        assert_eq!(repo.len(), 0);
+    }
+
+    #[test]
+    fn sync_delta_mismatched_from_is_protocol_error() {
+        let mut repo = LocalRepository::in_memory();
+        let mut conn = Script(vec![Reply::Delta {
+            from: 4,
+            total: 4,
+            sigs: vec![],
+        }]);
+        assert!(matches!(
+            sync_delta(&mut conn, &mut repo, 0),
+            Err(SyncError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn upload_batch_roundtrip_preserves_order() {
+        let mut conn = |req: Request| -> Result<Reply, String> {
+            match req {
+                Request::AddBatch { adds } => Ok(Reply::BatchAck {
+                    results: adds
+                        .iter()
+                        .map(|a| AddResult {
+                            accepted: a.sender != [0u8; 16],
+                            reason: if a.sender == [0u8; 16] {
+                                "invalid encrypted sender id".into()
+                            } else {
+                                String::new()
+                            },
+                        })
+                        .collect(),
+                }),
+                other => Err(format!("unexpected {other:?}")),
+            }
+        };
+        let results = upload_batch(
+            &mut conn,
+            vec![
+                ([1u8; 16], "sig-a".into()),
+                ([0u8; 16], "sig-b".into()),
+                ([2u8; 16], "sig-c".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].accepted);
+        assert!(!results[1].accepted);
+        assert!(results[2].accepted);
+    }
+
+    #[test]
+    fn upload_batch_length_mismatch_is_protocol_error() {
+        let mut conn = Script(vec![Reply::BatchAck {
+            results: vec![AddResult {
+                accepted: true,
+                reason: String::new(),
+            }],
+        }]);
+        assert!(matches!(
+            upload_batch(
+                &mut conn,
+                vec![([1u8; 16], "a".into()), ([1u8; 16], "b".into())]
+            ),
+            Err(SyncError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn empty_upload_batch_roundtrips() {
+        let mut conn = Script(vec![Reply::BatchAck {
+            results: Vec::new(),
+        }]);
+        assert_eq!(upload_batch(&mut conn, Vec::new()).unwrap().len(), 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use communix_agent::{AgentConfig, CommunixAgent, StartupReport};
 use communix_bytecode::{ClassLoader, LoweredProgram, Program};
-use communix_client::{obtain_id, sync_once, Connector, LocalRepository, SyncError};
+use communix_client::{obtain_id, sync_delta, sync_once, Connector, LocalRepository, SyncError};
 use communix_crypto::Digest;
 use communix_dimmunix::{DimmunixConfig, History, Signature};
 use communix_net::EncryptedId;
@@ -203,6 +203,18 @@ impl CommunixNode {
         sync_once(connector, &mut self.repo)
     }
 
+    /// Like [`CommunixNode::sync`], but through the batched `GET_DELTA`
+    /// protocol: one round trip per sync unless the server windows the
+    /// reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] on transport, protocol or persistence
+    /// failures.
+    pub fn sync_batched(&mut self, connector: &mut dyn Connector) -> Result<usize, SyncError> {
+        sync_delta(connector, &mut self.repo, 0)
+    }
+
     /// Application start: loads the program's classes and runs the
     /// agent's start-up pipeline over the not-yet-inspected repository
     /// signatures, updating the deadlock history.
@@ -247,6 +259,34 @@ impl CommunixNode {
             }
         }
         Ok(accepted)
+    }
+
+    /// Uploads every pending signature in a single `ADD_BATCH` round
+    /// trip. Returns how many the server accepted; all items are
+    /// dequeued either way (each received its verdict).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] if the node has no id or the transport
+    /// fails; on failure the whole batch remains queued (the server
+    /// processed none or all of it atomically from the node's view).
+    pub fn upload_pending_batched(
+        &mut self,
+        connector: &mut dyn Connector,
+    ) -> Result<usize, SyncError> {
+        let Some(id) = self.encrypted_id else {
+            return Err(SyncError::Transport(
+                "node has no encrypted id (call obtain_id first)".into(),
+            ));
+        };
+        if self.pending_uploads.is_empty() {
+            return Ok(0);
+        }
+        let results = self
+            .plugin
+            .upload_all(connector, id, &self.pending_uploads)?;
+        self.pending_uploads.clear();
+        Ok(results.iter().filter(|r| r.accepted).count())
     }
 
     /// Application shutdown: runs the nesting analysis if this was the
@@ -358,6 +398,51 @@ mod tests {
         let outcome = b.run(&app.deadlock_specs());
         assert!(outcome.deadlocks.is_empty(), "B must be immune");
         assert!(outcome.all_finished());
+    }
+
+    #[test]
+    fn batched_cycle_matches_single_signature_cycle() {
+        // The same collaborative story as
+        // `full_collaborative_cycle_protects_second_node`, but node A
+        // uploads its signatures in one ADD_BATCH and node B downloads
+        // them in one GET_DELTA — observable outcome identical.
+        let app = DeadlockApp::new(4);
+        let srv = server();
+
+        let mut a = CommunixNode::new(app.program().clone(), NodeConfig::for_user(1));
+        let mut conn_a = connector(srv.clone());
+        a.obtain_id(&mut conn_a).unwrap();
+        a.startup();
+        let outcome = a.run(&app.deadlock_specs());
+        assert_eq!(outcome.deadlocks.len(), 1);
+        let accepted = a.upload_pending_batched(&mut conn_a).unwrap();
+        assert_eq!(accepted, 1);
+        assert!(a.pending_uploads().is_empty());
+        assert_eq!(srv.db().len(), 1);
+        assert_eq!(srv.stats().batches, 1);
+
+        let mut b = CommunixNode::new(app.program().clone(), NodeConfig::for_user(2));
+        let mut conn_b = connector(srv.clone());
+        assert_eq!(b.sync_batched(&mut conn_b).unwrap(), 1);
+        assert_eq!(b.sync_batched(&mut conn_b).unwrap(), 0, "nothing new");
+        b.startup();
+        b.shutdown();
+        b.startup();
+        let outcome = b.run(&app.deadlock_specs());
+        assert!(outcome.deadlocks.is_empty(), "B must be immune");
+        assert_eq!(srv.stats().deltas, 2);
+        assert_eq!(srv.stats().gets, 0, "batched node never used GET");
+    }
+
+    #[test]
+    fn batched_upload_without_pending_is_noop() {
+        let app = DeadlockApp::new(4);
+        let srv = server();
+        let mut a = CommunixNode::new(app.program().clone(), NodeConfig::for_user(1));
+        let mut conn = connector(srv.clone());
+        a.obtain_id(&mut conn).unwrap();
+        assert_eq!(a.upload_pending_batched(&mut conn).unwrap(), 0);
+        assert_eq!(srv.stats().batches, 0, "no pending: no round trip");
     }
 
     #[test]

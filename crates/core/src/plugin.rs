@@ -10,9 +10,10 @@
 use std::collections::HashMap;
 
 use communix_bytecode::Program;
-use communix_client::{upload_signature, Connector, SyncError};
+use communix_client::{upload_batch, upload_signature, Connector, SyncError};
 use communix_crypto::Digest;
 use communix_dimmunix::{CallStack, SigEntry, Signature};
+use communix_net::AddResult;
 use communix_net::EncryptedId;
 
 /// Attaches bytecode hashes to outgoing signatures and uploads them.
@@ -96,6 +97,27 @@ impl CommunixPlugin {
         let hashed = self.attach_hashes(sig);
         upload_signature(connector, sender, hashed.to_string())
     }
+
+    /// Hash-attaches every signature and uploads them all in one
+    /// `ADD_BATCH` round trip. Returns the server's per-item verdicts in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] on transport or protocol failures.
+    pub fn upload_all(
+        &self,
+        connector: &mut dyn Connector,
+        sender: EncryptedId,
+        sigs: &[Signature],
+    ) -> Result<Vec<AddResult>, SyncError> {
+        upload_batch(
+            connector,
+            sigs.iter()
+                .map(|sig| (sender, self.attach_hashes(sig).to_string()))
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +169,38 @@ mod tests {
         let hashed = plugin.attach_hashes(&raw_sig());
         assert!(!plugin.fully_hashed(&hashed));
         assert_eq!(plugin.class_count(), 0);
+    }
+
+    #[test]
+    fn upload_all_batches_hashed_texts() {
+        let p = program();
+        let plugin = CommunixPlugin::for_program(&p);
+        let mut seen: Vec<String> = Vec::new();
+        let mut conn = |req: Request| -> Result<Reply, String> {
+            match req {
+                Request::AddBatch { adds } => {
+                    seen.extend(adds.iter().map(|a| a.sig_text.clone()));
+                    Ok(Reply::BatchAck {
+                        results: adds
+                            .iter()
+                            .map(|_| AddResult {
+                                accepted: true,
+                                reason: String::new(),
+                            })
+                            .collect(),
+                    })
+                }
+                other => Err(format!("expected ADD_BATCH, got {other:?}")),
+            }
+        };
+        let sigs = vec![raw_sig(), raw_sig()];
+        let results = plugin.upload_all(&mut conn, [1u8; 16], &sigs).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(seen.len(), 2, "both signatures in one round trip");
+        for text in seen {
+            let sent: Signature = text.parse().unwrap();
+            assert!(plugin.fully_hashed(&sent));
+        }
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn nibble(ch: u8, index: usize) -> Result<u8, ParseHexError> {
 /// ```
 pub fn decode_hex(s: &str) -> Result<Vec<u8>, ParseHexError> {
     let bytes = s.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(ParseHexError::OddLength(bytes.len()));
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

@@ -882,8 +882,10 @@ mod tests {
     #[test]
     fn fp_suspect_event_emitted_for_noisy_signature() {
         let clock = Arc::new(VirtualClock::new());
-        let mut cfg = DimmunixConfig::default();
-        cfg.fp_instantiation_threshold = 20; // keep the test small
+        let cfg = DimmunixConfig {
+            fp_instantiation_threshold: 20, // keep the test small
+            ..DimmunixConfig::default()
+        };
         let mut c = DimmunixCore::new(cfg, clock.clone());
         // Seed history with the AB signature.
         {

@@ -321,7 +321,9 @@ mod tests {
         let r2 = rec(2, 2, &[("p2", 3)]);
         let cand = rec(3, 3, &[("p3", 5)]);
         // Only one partner: incomplete.
-        assert!(m.would_instantiate(&cand, &[r1.clone()]).is_none());
+        assert!(m
+            .would_instantiate(&cand, std::slice::from_ref(&r1))
+            .is_none());
         // Both partners: instantiation.
         let inst = m.would_instantiate(&cand, &[r1, r2]).unwrap();
         assert_eq!(inst.participants.len(), 3);

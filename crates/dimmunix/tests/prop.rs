@@ -154,6 +154,6 @@ proptest! {
         let mut t = s.clone();
         t.truncate_to_suffix(n);
         prop_assert!(t.is_suffix_of(&s));
-        prop_assert!(t.depth() <= n.max(0).min(s.depth()) || s.depth() <= n);
+        prop_assert!(t.depth() <= n.min(s.depth()) || s.depth() <= n);
     }
 }

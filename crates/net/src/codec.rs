@@ -7,6 +7,20 @@
 //! an ISSUE_ID request standing in for the id-issuance service the paper
 //! assumes but does not implement.
 //!
+//! Beyond the paper, the protocol carries two batched message pairs so a
+//! client syncs in one round trip instead of one per signature:
+//!
+//! * `ADD_BATCH(adds)` → `BATCH_ACK(results)` — many ADDs in one frame,
+//!   each with its own sender id and its own accept/reject verdict (one
+//!   forged id inside a batch rejects that item only, never the batch).
+//! * `GET_DELTA(from, max)` → `DELTA(from, total, sigs)` — an incremental
+//!   GET with *server-side windowing*: the reply carries at most `max`
+//!   signatures (the server also applies its own cap) plus the current
+//!   database `total`, so the client knows whether another window remains.
+//!
+//! The original single-signature messages are unchanged; old clients keep
+//! working against a batching server and vice versa.
+//!
 //! Framing: every message is a 4-byte big-endian length followed by the
 //! payload. Payloads start with a tag byte.
 
@@ -43,6 +57,39 @@ pub enum Request {
         /// Plain user number to encrypt.
         user: u64,
     },
+    /// Add many signatures in one round trip. Answered by
+    /// [`Reply::BatchAck`] with one [`AddResult`] per item, in order.
+    AddBatch {
+        /// The batched ADDs, each with its own sender id.
+        adds: Vec<BatchAdd>,
+    },
+    /// Incremental download with server-side windowing. Answered by
+    /// [`Reply::Delta`].
+    GetDelta {
+        /// First index wanted (the client sends its local length).
+        from: u64,
+        /// Client-side cap on signatures per reply; `0` defers entirely
+        /// to the server's window.
+        max: u32,
+    },
+}
+
+/// One item of an [`Request::AddBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchAdd {
+    /// The sender's encrypted id.
+    pub sender: EncryptedId,
+    /// Signature text (`sig … end`).
+    pub sig_text: String,
+}
+
+/// The server's verdict on one batched ADD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddResult {
+    /// Whether the signature was accepted into the database.
+    pub accepted: bool,
+    /// Human-readable rejection reason (empty when accepted).
+    pub reason: String,
 }
 
 /// A server→client reply.
@@ -72,14 +119,33 @@ pub enum Reply {
         /// What went wrong.
         message: String,
     },
+    /// Per-item outcomes of an [`Request::AddBatch`], in request order.
+    BatchAck {
+        /// One verdict per batched ADD.
+        results: Vec<AddResult>,
+    },
+    /// One window of an incremental download ([`Request::GetDelta`]).
+    Delta {
+        /// Index of the first signature in `sigs`.
+        from: u64,
+        /// Total signatures the server holds; `from + sigs.len() < total`
+        /// means another window remains.
+        total: u64,
+        /// Signature texts (at most the effective window size).
+        sigs: Vec<String>,
+    },
 }
 
 const TAG_ADD: u8 = 0x01;
 const TAG_GET: u8 = 0x02;
 const TAG_ISSUE_ID: u8 = 0x03;
+const TAG_ADD_BATCH: u8 = 0x04;
+const TAG_GET_DELTA: u8 = 0x05;
 const TAG_ADD_ACK: u8 = 0x81;
 const TAG_SIGS: u8 = 0x82;
 const TAG_ID: u8 = 0x83;
+const TAG_BATCH_ACK: u8 = 0x84;
+const TAG_DELTA: u8 = 0x85;
 const TAG_ERROR: u8 = 0xFF;
 
 /// Codec error.
@@ -143,6 +209,19 @@ impl Request {
                 buf.put_u8(TAG_ISSUE_ID);
                 buf.put_u64(*user);
             }
+            Request::AddBatch { adds } => {
+                buf.put_u8(TAG_ADD_BATCH);
+                buf.put_u32(adds.len() as u32);
+                for add in adds {
+                    buf.put_slice(&add.sender);
+                    put_string(&mut buf, &add.sig_text);
+                }
+            }
+            Request::GetDelta { from, max } => {
+                buf.put_u8(TAG_GET_DELTA);
+                buf.put_u64(*from);
+                buf.put_u32(*max);
+            }
         }
         buf.freeze()
     }
@@ -182,6 +261,35 @@ impl Request {
                     user: payload.get_u64(),
                 })
             }
+            TAG_ADD_BATCH => {
+                if payload.remaining() < 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let count = payload.get_u32() as usize;
+                if count > MAX_FRAME / 20 {
+                    return Err(CodecError::TooLarge(count));
+                }
+                let mut adds = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    if payload.remaining() < 16 {
+                        return Err(CodecError::Truncated);
+                    }
+                    let mut sender = [0u8; 16];
+                    payload.copy_to_slice(&mut sender);
+                    let sig_text = get_string(&mut payload)?;
+                    adds.push(BatchAdd { sender, sig_text });
+                }
+                Ok(Request::AddBatch { adds })
+            }
+            TAG_GET_DELTA => {
+                if payload.remaining() < 12 {
+                    return Err(CodecError::Truncated);
+                }
+                Ok(Request::GetDelta {
+                    from: payload.get_u64(),
+                    max: payload.get_u32(),
+                })
+            }
             t => Err(CodecError::BadTag(t)),
         }
     }
@@ -212,6 +320,23 @@ impl Reply {
             Reply::Error { message } => {
                 buf.put_u8(TAG_ERROR);
                 put_string(&mut buf, message);
+            }
+            Reply::BatchAck { results } => {
+                buf.put_u8(TAG_BATCH_ACK);
+                buf.put_u32(results.len() as u32);
+                for r in results {
+                    buf.put_u8(u8::from(r.accepted));
+                    put_string(&mut buf, &r.reason);
+                }
+            }
+            Reply::Delta { from, total, sigs } => {
+                buf.put_u8(TAG_DELTA);
+                buf.put_u64(*from);
+                buf.put_u64(*total);
+                buf.put_u32(sigs.len() as u32);
+                for s in sigs {
+                    put_string(&mut buf, s);
+                }
             }
         }
         buf.freeze()
@@ -261,6 +386,41 @@ impl Reply {
             TAG_ERROR => Ok(Reply::Error {
                 message: get_string(&mut payload)?,
             }),
+            TAG_BATCH_ACK => {
+                if payload.remaining() < 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let count = payload.get_u32() as usize;
+                if count > MAX_FRAME / 5 {
+                    return Err(CodecError::TooLarge(count));
+                }
+                let mut results = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    if payload.remaining() < 1 {
+                        return Err(CodecError::Truncated);
+                    }
+                    let accepted = payload.get_u8() != 0;
+                    let reason = get_string(&mut payload)?;
+                    results.push(AddResult { accepted, reason });
+                }
+                Ok(Reply::BatchAck { results })
+            }
+            TAG_DELTA => {
+                if payload.remaining() < 20 {
+                    return Err(CodecError::Truncated);
+                }
+                let from = payload.get_u64();
+                let total = payload.get_u64();
+                let count = payload.get_u32() as usize;
+                if count > MAX_FRAME / 4 {
+                    return Err(CodecError::TooLarge(count));
+                }
+                let mut sigs = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    sigs.push(get_string(&mut payload)?);
+                }
+                Ok(Reply::Delta { from, total, sigs })
+            }
             t => Err(CodecError::BadTag(t)),
         }
     }
@@ -316,6 +476,98 @@ mod tests {
         });
         roundtrip_req(Request::Get { from: 12345 });
         roundtrip_req(Request::IssueId { user: 42 });
+    }
+
+    #[test]
+    fn batched_request_roundtrips() {
+        roundtrip_req(Request::AddBatch {
+            adds: vec![
+                BatchAdd {
+                    sender: [7u8; 16],
+                    sig_text: "sig local\nouter a#b:1\ninner a#c:2\nend".into(),
+                },
+                BatchAdd {
+                    sender: [9u8; 16],
+                    sig_text: "sig remote\nouter d#e:3\ninner d#f:4\nend".into(),
+                },
+            ],
+        });
+        roundtrip_req(Request::AddBatch { adds: Vec::new() });
+        roundtrip_req(Request::GetDelta { from: 77, max: 256 });
+        roundtrip_req(Request::GetDelta { from: 0, max: 0 });
+    }
+
+    #[test]
+    fn batched_reply_roundtrips() {
+        roundtrip_reply(Reply::BatchAck {
+            results: vec![
+                AddResult {
+                    accepted: true,
+                    reason: String::new(),
+                },
+                AddResult {
+                    accepted: false,
+                    reason: "invalid encrypted sender id".into(),
+                },
+            ],
+        });
+        roundtrip_reply(Reply::BatchAck {
+            results: Vec::new(),
+        });
+        roundtrip_reply(Reply::Delta {
+            from: 5,
+            total: 9,
+            sigs: vec!["sig-a".into(), "sig-b".into()],
+        });
+        roundtrip_reply(Reply::Delta {
+            from: 9,
+            total: 9,
+            sigs: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn truncated_batched_payloads_rejected() {
+        // AddBatch announcing one item but carrying no sender.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x04);
+        buf.put_u32(1);
+        assert_eq!(Request::decode(buf.freeze()), Err(CodecError::Truncated));
+        // GetDelta missing its max field.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x05);
+        buf.put_u64(3);
+        assert_eq!(Request::decode(buf.freeze()), Err(CodecError::Truncated));
+        // BatchAck announcing more results than it carries.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x84);
+        buf.put_u32(2);
+        buf.put_u8(1);
+        buf.put_u32(0);
+        assert_eq!(Reply::decode(buf.freeze()), Err(CodecError::Truncated));
+        // Delta with a short header.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x85);
+        buf.put_u64(0);
+        assert_eq!(Reply::decode(buf.freeze()), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn absurd_batch_counts_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x04);
+        buf.put_u32(u32::MAX);
+        assert!(matches!(
+            Request::decode(buf.freeze()),
+            Err(CodecError::TooLarge(_))
+        ));
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x84);
+        buf.put_u32(u32::MAX);
+        assert!(matches!(
+            Reply::decode(buf.freeze()),
+            Err(CodecError::TooLarge(_))
+        ));
     }
 
     #[test]

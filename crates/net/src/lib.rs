@@ -17,6 +17,8 @@ mod codec;
 mod simnet;
 mod tcp;
 
-pub use codec::{deframe, frame, CodecError, EncryptedId, Reply, Request, MAX_FRAME};
+pub use codec::{
+    deframe, frame, AddResult, BatchAdd, CodecError, EncryptedId, Reply, Request, MAX_FRAME,
+};
 pub use simnet::{Delivery, NicConfig, NodeId, SimNet};
 pub use tcp::{ClientError, Handler, TcpClient, TcpServer};

@@ -213,6 +213,22 @@ mod tests {
             Request::IssueId { user } => Reply::Id {
                 id: [(user & 0xff) as u8; 16],
             },
+            Request::AddBatch { adds } => Reply::BatchAck {
+                results: adds
+                    .iter()
+                    .map(|_| crate::codec::AddResult {
+                        accepted: true,
+                        reason: String::new(),
+                    })
+                    .collect(),
+            },
+            Request::GetDelta { from, max } => Reply::Delta {
+                from,
+                total: from + u64::from(max),
+                sigs: (0..max)
+                    .map(|i| format!("s{}", from + u64::from(i)))
+                    .collect(),
+            },
         });
         TcpServer::bind("127.0.0.1:0", handler).expect("bind")
     }
@@ -310,6 +326,35 @@ mod tests {
         let mut server = echo_server();
         server.shutdown();
         server.shutdown();
+    }
+
+    #[test]
+    fn batched_messages_over_tcp() {
+        let server = echo_server();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        let reply = client
+            .call(&Request::AddBatch {
+                adds: (0..3)
+                    .map(|i| crate::codec::BatchAdd {
+                        sender: [i as u8; 16],
+                        sig_text: format!("sig-{i}"),
+                    })
+                    .collect(),
+            })
+            .unwrap();
+        match reply {
+            Reply::BatchAck { results } => assert_eq!(results.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        let reply = client.call(&Request::GetDelta { from: 4, max: 2 }).unwrap();
+        assert_eq!(
+            reply,
+            Reply::Delta {
+                from: 4,
+                total: 6,
+                sigs: vec!["s4".into(), "s5".into()]
+            }
+        );
     }
 
     #[test]

@@ -74,8 +74,10 @@ fn branches_are_deterministic_per_seed() {
         })
     };
     let run = |seed: u64| {
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed;
+        let cfg = SimConfig {
+            seed,
+            ..SimConfig::default()
+        };
         let mut s = Simulator::new(build(), DimmunixConfig::default(), cfg);
         s.run(&[ThreadSpec::new("t.C", "main", 1)]).virtual_time
     };
@@ -230,8 +232,10 @@ fn step_cap_stops_runaway_programs() {
             })
             .done();
     });
-    let mut cfg = SimConfig::default();
-    cfg.max_steps = 10_000;
+    let cfg = SimConfig {
+        max_steps: 10_000,
+        ..SimConfig::default()
+    };
     let mut s = Simulator::new(p, DimmunixConfig::default(), cfg);
     let o = s.run(&[ThreadSpec::new("t.C", "spin", 1)]);
     assert_eq!(o.results, vec![ThreadResult::Error]);

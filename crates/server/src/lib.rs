@@ -11,5 +11,5 @@ mod db;
 mod server;
 
 pub use auth::IdAuthority;
-pub use db::SignatureDb;
+pub use db::{ShardStats, SignatureDb, DEFAULT_SHARDS};
 pub use server::{CommunixServer, RejectReason, ServerConfig, ServerStats};

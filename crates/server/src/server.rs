@@ -9,14 +9,32 @@
 //! 2. the same sender must not have previously sent an *adjacent*
 //!    signature (some but not all top frames in common);
 //! 3. at most 10 signatures per day are processed per sender (§III-C1).
+//!
+//! # Throughput structure
+//!
+//! The request path is built so the common cases never serialize on a
+//! single lock:
+//!
+//! * the database is sharded (see [`SignatureDb`]); exact duplicates are
+//!   detected with shard *read* locks before the signature is even
+//!   parsed, so re-sent signatures never take a write lock or touch
+//!   per-user validation state;
+//! * per-user rate-limit/adjacency state is sharded by user id the same
+//!   way the database is sharded by signature text;
+//! * counters are atomics, not a mutex-guarded struct.
+//!
+//! Batched requests (`ADD_BATCH`, `GET_DELTA`) run the same per-item
+//! validation as their single-signature counterparts; `GET_DELTA`
+//! windows its reply to [`ServerConfig::delta_window`] signatures.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use communix_clock::{Clock, Instant, DAY};
 use communix_dimmunix::Signature;
-use communix_net::{Reply, Request};
+use communix_net::{AddResult, EncryptedId, Reply, Request};
 use parking_lot::Mutex;
 
 use crate::auth::IdAuthority;
@@ -51,29 +69,80 @@ impl RejectReason {
 pub struct ServerConfig {
     /// Maximum signatures processed per sender per day (paper: 10).
     pub daily_limit: usize,
+    /// Signature-store shards (also shards the per-user validation
+    /// state). `0` selects the pre-sharding single-lock store — the
+    /// measured baseline of the `server_throughput` benchmark.
+    pub db_shards: usize,
+    /// Maximum signatures per `GET_DELTA` reply, regardless of what the
+    /// client asks for (server-side windowing).
+    pub delta_window: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { daily_limit: 10 }
+        ServerConfig {
+            daily_limit: 10,
+            db_shards: crate::db::DEFAULT_SHARDS,
+            delta_window: 4096,
+        }
     }
 }
 
 /// Aggregate server counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// ADD requests accepted (newly stored).
+    /// ADDs accepted (newly stored) — batched items count individually.
     pub adds_accepted: u64,
-    /// ADD requests that were exact duplicates (acked, not re-stored).
+    /// ADDs that were exact duplicates (acked, not re-stored).
     pub adds_duplicate: u64,
-    /// ADD requests rejected by validation.
+    /// ADDs rejected by validation.
     pub adds_rejected: u64,
     /// GET requests served.
     pub gets: u64,
-    /// Signature texts shipped in GET replies.
+    /// Signature texts shipped in GET / GET_DELTA replies.
     pub sigs_served: u64,
     /// Ids issued.
     pub ids_issued: u64,
+    /// ADD_BATCH requests served (items are counted in the `adds_*`).
+    pub batches: u64,
+    /// GET_DELTA requests served.
+    pub deltas: u64,
+}
+
+/// Lock-free backing cells for [`ServerStats`].
+#[derive(Debug, Default)]
+struct StatsCells {
+    adds_accepted: AtomicU64,
+    adds_duplicate: AtomicU64,
+    adds_rejected: AtomicU64,
+    gets: AtomicU64,
+    sigs_served: AtomicU64,
+    ids_issued: AtomicU64,
+    batches: AtomicU64,
+    deltas: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            adds_accepted: self.adds_accepted.load(Ordering::Acquire),
+            adds_duplicate: self.adds_duplicate.load(Ordering::Acquire),
+            adds_rejected: self.adds_rejected.load(Ordering::Acquire),
+            gets: self.gets.load(Ordering::Acquire),
+            sigs_served: self.sigs_served.load(Ordering::Acquire),
+            ids_issued: self.ids_issued.load(Ordering::Acquire),
+            batches: self.batches.load(Ordering::Acquire),
+            deltas: self.deltas.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Outcome of validating + storing one ADD (single or batched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AddDecision {
+    Accepted,
+    Duplicate,
+    Rejected(RejectReason),
 }
 
 #[derive(Debug, Default)]
@@ -109,21 +178,31 @@ pub struct CommunixServer {
     config: ServerConfig,
     db: SignatureDb,
     authority: IdAuthority,
-    users: Mutex<HashMap<u64, UserState>>,
+    /// Per-user validation state, sharded by user id (index `user %
+    /// users.len()`) so concurrent senders rarely share a mutex.
+    users: Box<[Mutex<HashMap<u64, UserState>>]>,
     clock: Arc<dyn Clock>,
-    stats: Mutex<ServerStats>,
+    stats: StatsCells,
 }
 
 impl CommunixServer {
     /// Creates a server with the default id authority key.
     pub fn new(config: ServerConfig, clock: Arc<dyn Clock>) -> Self {
+        let db = if config.db_shards == 0 {
+            SignatureDb::single_lock()
+        } else {
+            SignatureDb::with_shards(config.db_shards)
+        };
+        let user_shards = config.db_shards.max(1);
         CommunixServer {
             config,
-            db: SignatureDb::new(),
+            db,
             authority: IdAuthority::default(),
-            users: Mutex::new(HashMap::new()),
+            users: (0..user_shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             clock,
-            stats: Mutex::new(ServerStats::default()),
+            stats: StatsCells::default(),
         }
     }
 
@@ -140,17 +219,36 @@ impl CommunixServer {
 
     /// Counter snapshot.
     pub fn stats(&self) -> ServerStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Processes one request — the "request processing routine" Figure 2
     /// invokes from up to 100,000 simultaneous threads.
     pub fn handle(&self, request: Request) -> Reply {
         match request {
-            Request::Add { sender, sig_text } => self.handle_add(&sender, &sig_text),
+            Request::Add { sender, sig_text } => {
+                let decision = self.process_add(&sender, &sig_text);
+                self.count(decision);
+                let (accepted, reason) = Self::verdict(decision);
+                Reply::AddAck { accepted, reason }
+            }
+            Request::AddBatch { adds } => {
+                self.stats.batches.fetch_add(1, Ordering::AcqRel);
+                let results = adds
+                    .iter()
+                    .map(|add| {
+                        let decision = self.process_add(&add.sender, &add.sig_text);
+                        self.count(decision);
+                        let (accepted, reason) = Self::verdict(decision);
+                        AddResult { accepted, reason }
+                    })
+                    .collect();
+                Reply::BatchAck { results }
+            }
             Request::Get { from } => self.handle_get(from),
+            Request::GetDelta { from, max } => self.handle_get_delta(from, max),
             Request::IssueId { user } => {
-                self.stats.lock().ids_issued += 1;
+                self.stats.ids_issued.fetch_add(1, Ordering::AcqRel);
                 Reply::Id {
                     id: self.authority.issue(user),
                 }
@@ -158,20 +256,33 @@ impl CommunixServer {
         }
     }
 
-    fn handle_add(&self, sender: &[u8; 16], sig_text: &str) -> Reply {
+    /// The shared ADD path: validation (§III-C) plus storage. Batched
+    /// and single ADDs go through here item by item.
+    ///
+    /// The dedup probe runs *first*, before the signature is parsed and
+    /// before any per-user state is locked: an exact duplicate of a
+    /// stored signature was already validated when it was accepted, so
+    /// re-sends are acked off shard read locks alone — they take no
+    /// write lock and consume no daily budget.
+    fn process_add(&self, sender: &EncryptedId, sig_text: &str) -> AddDecision {
         // Check 1: the encrypted id must verify (§III-C2).
         let Some(user) = self.authority.verify(sender) else {
-            return self.reject(RejectReason::BadId);
+            return AddDecision::Rejected(RejectReason::BadId);
         };
+
+        // Dedup fast path (read locks only).
+        if self.db.contains(sig_text).is_some() {
+            return AddDecision::Duplicate;
+        }
 
         // The signature must parse (a malformed signature cannot be
         // validated, stored, or served).
         let Ok(sig) = sig_text.parse::<Signature>() else {
-            return self.reject(RejectReason::Malformed);
+            return AddDecision::Rejected(RejectReason::Malformed);
         };
 
         let now = self.clock.now();
-        let mut users = self.users.lock();
+        let mut users = self.user_shard(user).lock();
         let state = users.entry(user).or_default();
 
         // Check 3 (§III-C1): at most `daily_limit` signatures processed
@@ -184,60 +295,88 @@ impl CommunixServer {
             }
         }
         if state.processed.len() >= self.config.daily_limit {
-            return self.reject(RejectReason::RateLimited);
+            return AddDecision::Rejected(RejectReason::RateLimited);
         }
         state.processed.push_back(now);
 
         // Check 2 (§III-C2): no adjacent signature from the same sender.
         if state.accepted.iter().any(|s| s.adjacent_to(&sig)) {
-            return self.reject(RejectReason::Adjacent);
+            return AddDecision::Rejected(RejectReason::Adjacent);
         }
 
         let (_, added) = self.db.add(sig_text);
-        let mut stats = self.stats.lock();
         if added {
             state.accepted.push(sig);
-            stats.adds_accepted += 1;
-            Reply::AddAck {
-                accepted: true,
-                reason: String::new(),
-            }
+            AddDecision::Accepted
         } else {
-            stats.adds_duplicate += 1;
-            Reply::AddAck {
-                accepted: true,
-                reason: "duplicate".into(),
-            }
+            // Lost a race with an identical add that slipped in after
+            // the fast-path probe.
+            AddDecision::Duplicate
+        }
+    }
+
+    fn user_shard(&self, user: u64) -> &Mutex<HashMap<u64, UserState>> {
+        &self.users[(user as usize) % self.users.len()]
+    }
+
+    fn count(&self, decision: AddDecision) {
+        let cell = match decision {
+            AddDecision::Accepted => &self.stats.adds_accepted,
+            AddDecision::Duplicate => &self.stats.adds_duplicate,
+            AddDecision::Rejected(_) => &self.stats.adds_rejected,
+        };
+        cell.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn verdict(decision: AddDecision) -> (bool, String) {
+        match decision {
+            AddDecision::Accepted => (true, String::new()),
+            AddDecision::Duplicate => (true, "duplicate".into()),
+            AddDecision::Rejected(reason) => (false, reason.as_str().into()),
         }
     }
 
     fn handle_get(&self, from: u64) -> Reply {
         let sigs = self.db.get_from(from as usize);
-        let mut stats = self.stats.lock();
-        stats.gets += 1;
-        stats.sigs_served += sigs.len() as u64;
+        self.stats.gets.fetch_add(1, Ordering::AcqRel);
+        self.stats
+            .sigs_served
+            .fetch_add(sigs.len() as u64, Ordering::AcqRel);
         Reply::Sigs { from, sigs }
+    }
+
+    fn handle_get_delta(&self, from: u64, max: u32) -> Reply {
+        let window = if max == 0 {
+            self.config.delta_window
+        } else {
+            (max as usize).min(self.config.delta_window)
+        };
+        let (sigs, total) = self.db.delta(from as usize, window);
+        self.stats.deltas.fetch_add(1, Ordering::AcqRel);
+        self.stats
+            .sigs_served
+            .fetch_add(sigs.len() as u64, Ordering::AcqRel);
+        Reply::Delta {
+            from,
+            total: total as u64,
+            sigs,
+        }
     }
 
     /// Processes a GET as a pure database walk, without materializing a
     /// reply buffer: returns the `(count, bytes)` a real reply would
     /// ship. This isolates the server-side computation Figure 2 measures
     /// ("iterating through the entire database"); the end-to-end path
-    /// with materialized replies is what Figure 3 measures.
+    /// with materialized replies is what Figure 3 measures. The walk
+    /// runs over the global append log, so its totals match what the
+    /// per-shard [`SignatureDb::shard_stats`] counters sum to.
     pub fn handle_get_scan(&self, from: u64) -> (usize, usize) {
         let r = self.db.scan_from(from as usize);
-        let mut stats = self.stats.lock();
-        stats.gets += 1;
-        stats.sigs_served += r.0 as u64;
+        self.stats.gets.fetch_add(1, Ordering::AcqRel);
+        self.stats
+            .sigs_served
+            .fetch_add(r.0 as u64, Ordering::AcqRel);
         r
-    }
-
-    fn reject(&self, reason: RejectReason) -> Reply {
-        self.stats.lock().adds_rejected += 1;
-        Reply::AddAck {
-            accepted: false,
-            reason: reason.as_str().into(),
-        }
     }
 }
 
@@ -509,6 +648,165 @@ mod tests {
         assert_eq!(s.adds_rejected, 1);
         assert_eq!(s.gets, 1);
         assert_eq!(s.sigs_served, 1);
+    }
+
+    #[test]
+    fn duplicate_resend_skips_budget_and_write_locks() {
+        // The dedup fast path acks re-sent signatures without consuming
+        // daily budget: a client replaying its history cannot starve
+        // itself out of reporting a genuinely new deadlock.
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1));
+        for _ in 0..50 {
+            let r = add(&srv, 1, &sig(1));
+            assert_eq!(
+                r,
+                Reply::AddAck {
+                    accepted: true,
+                    reason: "duplicate".into()
+                }
+            );
+        }
+        // Budget only charged for the one processed signature.
+        for i in 0..9 {
+            assert!(matches!(
+                add(&srv, 1, &sig(20 + i)),
+                Reply::AddAck { accepted: true, .. }
+            ));
+        }
+        assert_eq!(srv.stats().adds_duplicate, 50);
+    }
+
+    #[test]
+    fn batch_add_mixed_results() {
+        let (srv, _) = server();
+        let good_id = srv.authority().issue(1);
+        let other_id = srv.authority().issue(2);
+        let adds = vec![
+            communix_net::BatchAdd {
+                sender: good_id,
+                sig_text: sig(1).to_string(),
+            },
+            communix_net::BatchAdd {
+                sender: [0xAB; 16], // forged
+                sig_text: sig(2).to_string(),
+            },
+            communix_net::BatchAdd {
+                sender: other_id,
+                sig_text: "not a signature".into(),
+            },
+            communix_net::BatchAdd {
+                sender: other_id,
+                sig_text: sig(1).to_string(), // duplicate of item 0
+            },
+            communix_net::BatchAdd {
+                sender: other_id,
+                sig_text: sig(3).to_string(),
+            },
+        ];
+        let Reply::BatchAck { results } = srv.handle(Request::AddBatch { adds }) else {
+            panic!("expected BatchAck");
+        };
+        assert_eq!(results.len(), 5);
+        assert!(results[0].accepted && results[0].reason.is_empty());
+        assert!(!results[1].accepted);
+        assert_eq!(results[1].reason, "invalid encrypted sender id");
+        assert!(!results[2].accepted);
+        assert!(results[3].accepted);
+        assert_eq!(results[3].reason, "duplicate");
+        assert!(results[4].accepted);
+        // Only the two fresh valid signatures were stored.
+        assert_eq!(srv.db().len(), 2);
+        let s = srv.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.adds_accepted, 2);
+        assert_eq!(s.adds_duplicate, 1);
+        assert_eq!(s.adds_rejected, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_acked_empty() {
+        let (srv, _) = server();
+        let Reply::BatchAck { results } = srv.handle(Request::AddBatch { adds: vec![] }) else {
+            panic!("expected BatchAck");
+        };
+        assert!(results.is_empty());
+        assert_eq!(srv.stats().batches, 1);
+        assert_eq!(srv.stats().adds_accepted, 0);
+    }
+
+    #[test]
+    fn get_delta_windows_and_reports_total() {
+        let (srv, _) = server();
+        for i in 0..7 {
+            add(&srv, 1, &sig(10 + i));
+        }
+        let Reply::Delta { from, total, sigs } = srv.handle(Request::GetDelta { from: 2, max: 3 })
+        else {
+            panic!("expected Delta");
+        };
+        assert_eq!((from, total), (2, 7));
+        assert_eq!(sigs.len(), 3);
+        assert_eq!(sigs, srv.db().get_from(2)[..3].to_vec());
+        // max == 0 defers to the server's window.
+        let Reply::Delta { sigs, .. } = srv.handle(Request::GetDelta { from: 0, max: 0 }) else {
+            panic!("expected Delta");
+        };
+        assert_eq!(sigs.len(), 7);
+        // Past the end: empty window, same total.
+        let Reply::Delta { total, sigs, .. } = srv.handle(Request::GetDelta { from: 99, max: 0 })
+        else {
+            panic!("expected Delta");
+        };
+        assert_eq!((total, sigs.len()), (7, 0));
+        let s = srv.stats();
+        assert_eq!(s.deltas, 3);
+        assert_eq!(s.gets, 0, "GET_DELTA is not a GET");
+        assert_eq!(s.sigs_served, 10);
+    }
+
+    #[test]
+    fn delta_window_capped_by_server_config() {
+        let clock = Arc::new(VirtualClock::new());
+        let srv = CommunixServer::new(
+            ServerConfig {
+                delta_window: 2,
+                ..ServerConfig::default()
+            },
+            clock,
+        );
+        for i in 0..5 {
+            add(&srv, 1, &sig(30 + i));
+        }
+        let Reply::Delta { total, sigs, .. } = srv.handle(Request::GetDelta { from: 0, max: 1000 })
+        else {
+            panic!("expected Delta");
+        };
+        assert_eq!(total, 5);
+        assert_eq!(sigs.len(), 2, "server window caps the client's ask");
+    }
+
+    #[test]
+    fn single_lock_config_still_serves() {
+        let clock = Arc::new(VirtualClock::new());
+        let srv = CommunixServer::new(
+            ServerConfig {
+                db_shards: 0,
+                ..ServerConfig::default()
+            },
+            clock,
+        );
+        assert_eq!(srv.db().shard_count(), 1);
+        assert!(matches!(
+            add(&srv, 1, &sig(1)),
+            Reply::AddAck { accepted: true, .. }
+        ));
+        match srv.handle(Request::GetDelta { from: 0, max: 0 }) {
+            Reply::Delta { total, sigs, .. } => {
+                assert_eq!((total, sigs.len()), (1, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

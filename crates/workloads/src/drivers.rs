@@ -313,8 +313,10 @@ impl DriverApp {
     /// Runs the workload once on a fresh simulator seeded with `history`,
     /// with avoidance on or off.
     pub fn run(&self, history: History, avoidance: bool) -> SimOutcome {
-        let mut dimmunix = DimmunixConfig::default();
-        dimmunix.avoidance = avoidance;
+        let dimmunix = DimmunixConfig {
+            avoidance,
+            ..DimmunixConfig::default()
+        };
         let mut sim =
             Simulator::with_history(self.lowered(), dimmunix, SimConfig::default(), history);
         sim.run(&self.specs())

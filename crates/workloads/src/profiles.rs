@@ -70,7 +70,6 @@ impl AppProfile {
             explicit_ops: (self.explicit_ops as f64 * f).round() as usize,
             nested: s(self.nested),
             analyzed: s(self.analyzed).min(s(self.sync_sites)),
-            ..*self
         }
     }
 
@@ -240,7 +239,7 @@ mod tests {
         for prof in ALL_PROFILES {
             let p = prof.scaled(0.02);
             let program = p.generate();
-            assert!(program.len() > 0, "{}", prof.name);
+            assert!(!program.is_empty(), "{}", prof.name);
         }
     }
 

@@ -78,6 +78,15 @@ impl SigGen {
         (0..n).map(|_| self.random_signature()).collect()
     }
 
+    /// A batch of [`SigGen::random_signature`]s serialized to text — the
+    /// form an `ADD_BATCH` carries on the wire (benchmark drivers batch
+    /// these without re-serializing in the timed region).
+    pub fn random_batch_texts(&mut self, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|_| self.random_signature().to_string())
+            .collect()
+    }
+
     /// Generates `n` remote signatures that pass the agent's validation
     /// against `program` (hashes match, outer depth ≥ 5, outer tops are
     /// nested sites per `report`).

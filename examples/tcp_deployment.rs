@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Wait for the daemon's first rounds to land.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while repo.lock().len() == 0 {
+    while repo.lock().is_empty() {
         assert!(
             std::time::Instant::now() < deadline,
             "daemon should have synced by now"
