@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use communix_bench::{arg_flag, banner, fmt_rate, row};
 use communix_clock::{Duration as SimDuration, SystemClock};
-use communix_net::{NicConfig, NodeId, Reply, Request, SimNet, TcpClient, TcpServer};
+use communix_net::{NicConfig, NodeId, Reply, Request, SimNet, TcpClient};
 use communix_server::{CommunixServer, ServerConfig};
 use communix_workloads::SigGen;
 
@@ -128,12 +128,7 @@ fn tcp_point(clients: usize) -> f64 {
         ServerConfig::default(),
         Arc::new(SystemClock::new()),
     ));
-    let handler_server = server.clone();
-    let tcp = TcpServer::bind(
-        "127.0.0.1:0",
-        Arc::new(move |req| handler_server.handle(req)),
-    )
-    .expect("bind localhost");
+    let tcp = communix_server::serve("127.0.0.1:0", server.clone()).expect("bind localhost");
     let addr = tcp.addr();
 
     let rates: Vec<f64> = std::thread::scope(|scope| {

@@ -1,7 +1,7 @@
 //! `server_throughput` — the perf-trajectory benchmark for the sharded
-//! server and the batched sync protocol.
+//! server, the batched sync protocol, and the event-driven transport.
 //!
-//! Two closed-loop scenarios:
+//! Three closed-loop scenarios:
 //!
 //! 1. **`concurrent_mixed_load`** — 8 OS threads hammer one in-process
 //!    server with a mixed request stream (a fresh ADD, a full GET(0)
@@ -19,20 +19,36 @@
 //!    1 Gbit/s NIC on the deterministic [`SimNet`]. Because deltas are
 //!    incremental, traffic stays linear in the new signatures instead
 //!    of Figure 3's quadratic GET(0) collapse.
+//! 3. **`connections_vs_throughput`** — the C10K sweep over real
+//!    sockets. For each (transport, N) point the server runs in this
+//!    process while driver *child processes* (re-invocations of this
+//!    binary with `--drive`) each hold up to [`DRIVER_CHILD_CAP`] open
+//!    connections; once the server's own stats confirm all N are held
+//!    *simultaneously*, the parent broadcasts GO and every driver
+//!    round-robins blocking `ISSUE_ID` calls for a fixed wall-clock
+//!    window. Children exist because client and server descriptors
+//!    would otherwise share one process's fd limit. The event transport
+//!    is swept to 2048 connections (10240 in full mode); the
+//!    thread-per-connection baseline stops at 512, where a thread per
+//!    socket is already the cost being measured.
 //!
 //! Emits `BENCH_server_throughput.json` (override with `--out`) with
-//! ops/sec and p99 latency per scenario — the artifact the CI bench job
-//! uploads, and the first point of the perf trajectory.
+//! ops/sec and p99 latency per scenario, plus the poller backend and fd
+//! limits behind the sweep — the artifact the CI bench job uploads.
 //!
 //! Run: `cargo run -p communix-bench --release --bin server_throughput
 //! [--smoke] [--out path]`
 
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use communix_bench::{arg_flag, arg_value, banner, fmt_rate, percentile, row, JsonObj};
 use communix_clock::{Duration as SimDuration, SystemClock};
-use communix_net::{BatchAdd, NicConfig, NodeId, Reply, Request, SimNet};
+use communix_net::{
+    BatchAdd, NicConfig, NodeId, Reply, Request, SimNet, TcpClient, TcpServerConfig,
+};
 use communix_server::{CommunixServer, IdAuthority, ServerConfig, DEFAULT_SHARDS};
 use communix_workloads::SigGen;
 
@@ -452,7 +468,196 @@ fn simnet_batched_sync(clients: usize, rounds: usize, batch: usize) -> SimnetRes
     }
 }
 
+// ---------------------------------------------------------------------
+// connections_vs_throughput — the C10K sweep.
+// ---------------------------------------------------------------------
+
+/// Open connections held by one driver child process. Bounded so that at
+/// the 10240-connection point neither the server process (10240 sockets)
+/// nor any driver (≤ `DRIVER_CHILD_CAP` sockets) outgrows a 20k fd
+/// limit on its own.
+const DRIVER_CHILD_CAP: usize = 2048;
+
+/// Descriptors the server process needs beyond its connections
+/// (listener, poller, waker pipe, stdio, the artifact file).
+const FD_MARGIN: u64 = 64;
+
+struct SweepPoint {
+    transport: String,
+    connections: usize,
+    ops_per_sec: f64,
+    p99_us: f64,
+    peak_connections: usize,
+}
+
+/// Connect with exponential backoff: a burst of simultaneous dials from
+/// several children can momentarily overflow the listen backlog.
+fn connect_with_retry(addr: std::net::SocketAddr) -> TcpClient {
+    let mut delay = Duration::from_millis(1);
+    for _ in 0..10 {
+        match TcpClient::connect(addr) {
+            Ok(c) => return c,
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(250));
+            }
+        }
+    }
+    TcpClient::connect(addr).expect("connect to sweep server after retries")
+}
+
+/// Child (`--drive`) mode: hold `conns` open connections, print READY,
+/// and once the parent answers GO on stdin, round-robin blocking
+/// `ISSUE_ID` calls for `secs` of wall clock. Reports one RESULT line.
+fn drive_connections(addr: &str, conns: usize, secs: f64) {
+    let _ = polling::raise_fd_limit();
+    let addr: std::net::SocketAddr = addr.parse().expect("server address");
+    let mut clients: Vec<TcpClient> = (0..conns).map(|_| connect_with_retry(addr)).collect();
+
+    println!("READY");
+    let mut go = String::new();
+    std::io::stdin()
+        .lock()
+        .read_line(&mut go)
+        .expect("GO from parent");
+
+    let mut lat_us = Vec::new();
+    let mut ops = 0u64;
+    let start = Instant::now();
+    'drive: loop {
+        for (i, client) in clients.iter_mut().enumerate() {
+            if start.elapsed().as_secs_f64() >= secs {
+                break 'drive;
+            }
+            let t0 = Instant::now();
+            match client.call(&Request::IssueId { user: i as u64 }) {
+                Ok(Reply::Id { .. }) => {}
+                other => panic!("driver call failed: {other:?}"),
+            }
+            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+            ops += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "RESULT ops={ops} secs={elapsed} p99_us={}",
+        percentile(&lat_us, 99.0)
+    );
+}
+
+/// One sweep point: serve in-process, fan `conns` connections across
+/// driver children, confirm via server-side stats that all of them are
+/// held at once, then measure a closed-loop drive window.
+fn connections_point(event: bool, conns: usize, secs: f64) -> SweepPoint {
+    let server = Arc::new(CommunixServer::new(
+        ServerConfig::default(),
+        Arc::new(SystemClock::new()),
+    ));
+    // Long idle timeout: connections sit quiet while later children are
+    // still dialing, and must not be evicted as slow-loris suspects.
+    let cfg = TcpServerConfig {
+        idle_timeout: Some(Duration::from_secs(120)),
+        ..TcpServerConfig::default()
+    };
+    let mut tcp = if event {
+        communix_server::serve_with("127.0.0.1:0", server, cfg)
+    } else {
+        communix_server::serve_threaded("127.0.0.1:0", server, cfg)
+    }
+    .expect("bind sweep server");
+    let transport = tcp.transport().to_string();
+    let addr = tcp.addr().to_string();
+    let exe = std::env::current_exe().expect("current exe");
+
+    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
+    let mut left = conns;
+    while left > 0 {
+        let take = left.min(DRIVER_CHILD_CAP);
+        left -= take;
+        let mut child = Command::new(&exe)
+            .args(["--drive", &addr])
+            .args(["--conns", &take.to_string()])
+            .args(["--secs", &format!("{secs}")])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn driver child");
+        let out = BufReader::new(child.stdout.take().expect("child stdout"));
+        children.push((child, out));
+    }
+
+    for (_, out) in &mut children {
+        let mut line = String::new();
+        out.read_line(&mut line).expect("driver READY");
+        assert_eq!(line.trim(), "READY", "driver handshake");
+    }
+    // Every driver has connected; the proof of concurrency is the
+    // server's own view, not the clients' claims.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while tcp.stats().current_connections < conns && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let held = tcp.stats().current_connections;
+    assert_eq!(
+        held, conns,
+        "server never held all {conns} connections simultaneously ({transport})"
+    );
+
+    for (child, _) in &mut children {
+        child
+            .stdin
+            .as_mut()
+            .expect("child stdin")
+            .write_all(b"GO\n")
+            .expect("send GO");
+    }
+
+    let mut ops_per_sec = 0.0;
+    let mut p99_us: f64 = 0.0;
+    for (_, out) in &mut children {
+        let mut line = String::new();
+        out.read_line(&mut line).expect("driver RESULT");
+        let (mut ops, mut child_secs) = (0f64, 0f64);
+        for tok in line.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("ops=") {
+                ops = v.parse().expect("ops");
+            } else if let Some(v) = tok.strip_prefix("secs=") {
+                child_secs = v.parse().expect("secs");
+            } else if let Some(v) = tok.strip_prefix("p99_us=") {
+                p99_us = p99_us.max(v.parse().expect("p99_us"));
+            }
+        }
+        assert!(child_secs > 0.0, "malformed driver RESULT: {line:?}");
+        ops_per_sec += ops / child_secs;
+    }
+    for (mut child, _) in children {
+        let _ = child.wait();
+    }
+    let peak = tcp.stats().peak_connections;
+    tcp.shutdown();
+    SweepPoint {
+        transport,
+        connections: conns,
+        ops_per_sec,
+        p99_us,
+        peak_connections: peak,
+    }
+}
+
 fn main() {
+    if let Some(addr) = arg_value("--drive") {
+        let conns: usize = arg_value("--conns")
+            .expect("--conns")
+            .parse()
+            .expect("conns count");
+        let secs: f64 = arg_value("--secs")
+            .expect("--secs")
+            .parse()
+            .expect("drive seconds");
+        drive_connections(&addr, conns, secs);
+        return;
+    }
+
     let smoke = arg_flag("--smoke");
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_server_throughput.json".into());
     let (iters, reps, clients, rounds, batch) = if smoke {
@@ -515,6 +720,62 @@ fn main() {
         &format!("{:.1} MB", sim.server_tx_bytes as f64 / 1e6),
     ]);
 
+    // The C10K sweep. Raise this process's fd soft limit first (CI
+    // runners default to 1024, which would cap the sweep below the
+    // 512-connection point the artifact must include).
+    let _ = polling::raise_fd_limit();
+    let (fd_soft, fd_hard) = polling::fd_limit().unwrap_or((0, 0));
+    let drive_secs = if smoke { 1.0 } else { 2.0 };
+    let event_conns: &[usize] = if smoke {
+        &[64, 512, 2048]
+    } else {
+        &[64, 512, 2048, 10240]
+    };
+    let threaded_conns: &[usize] = &[64, 512];
+    let points: Vec<(bool, usize)> = threaded_conns
+        .iter()
+        .map(|&n| (false, n))
+        .chain(event_conns.iter().map(|&n| (true, n)))
+        .collect();
+
+    println!(
+        "\nconnections_vs_throughput ({drive_secs}s closed-loop ISSUE_ID per point, \
+         drivers in child processes, fd limit {fd_soft}/{fd_hard}):"
+    );
+    row(&["transport", "conns", "ops/s", "p99 µs", "peak conns"]);
+    let mut sweep_json = JsonObj::new()
+        .num("drive_secs", drive_secs)
+        .int("fd_soft_limit", fd_soft)
+        .int("fd_hard_limit", fd_hard);
+    let mut backend = "unavailable".to_string();
+    for (event, conns) in points {
+        let label = if event { "event" } else { "threaded" };
+        if conns as u64 + FD_MARGIN > fd_soft {
+            println!("{label}_{conns}: SKIPPED — needs > {fd_soft} fds in the server process");
+            continue;
+        }
+        let p = connections_point(event, conns, drive_secs);
+        if event {
+            backend = p.transport.clone();
+        }
+        row(&[
+            &p.transport,
+            &p.connections.to_string(),
+            &fmt_rate(p.ops_per_sec),
+            &format!("{:.1}", p.p99_us),
+            &p.peak_connections.to_string(),
+        ]);
+        sweep_json = sweep_json.obj(
+            &format!("{label}_{conns}"),
+            JsonObj::new()
+                .str("transport", &p.transport)
+                .int("connections", p.connections as u64)
+                .num("ops_per_sec", p.ops_per_sec)
+                .num("p99_us", p.p99_us)
+                .int("peak_connections", p.peak_connections as u64),
+        );
+    }
+
     let json = JsonObj::new()
         .str("bench", "server_throughput")
         .str("mode", if smoke { "smoke" } else { "full" })
@@ -547,6 +808,10 @@ fn main() {
                 .num("ops_per_sec", sim.ops_per_sec)
                 .num("p99_ms", sim.p99_ms)
                 .int("server_tx_bytes", sim.server_tx_bytes),
+        )
+        .obj(
+            "connections_vs_throughput",
+            sweep_json.str("poller_backend", &backend),
         )
         .render();
     std::fs::write(&out, format!("{json}\n")).expect("write bench artifact");

@@ -1,0 +1,351 @@
+//! The event-driven (C10K) TCP transport: one readiness loop of
+//! nonblocking sockets instead of one thread per connection.
+//!
+//! A single loop thread owns every connection. Each connection is a
+//! small state machine over the length-prefixed codec:
+//!
+//! * **framed reads** — bytes accumulate in a per-connection buffer;
+//!   complete frames are decoded, handled, and their replies appended to
+//!   the connection's write buffer. Partial frames simply wait for the
+//!   next readiness event.
+//! * **short-write resumption** — whatever the kernel doesn't accept
+//!   stays queued; the connection registers write interest and resumes
+//!   on the next writable event.
+//! * **write backpressure** — while more than [`HIGH_WATER`] bytes of
+//!   replies are queued, the loop stops *reading* (and stops decoding
+//!   already-buffered frames) from that connection, so a peer that
+//!   requests faster than it drains replies cannot balloon server
+//!   memory.
+//! * **idle/heartbeat timeout** — a connection that makes no read or
+//!   write progress for [`TcpServerConfig::idle_timeout`] is evicted.
+//!   This also defuses slow-loris peers that send a length prefix and
+//!   then stall inside a frame.
+//!
+//! Readiness comes from the vendored [`polling`] crate: epoll on Linux,
+//! `poll(2)` as the fallback backend. Shutdown is signalled with an
+//! atomic flag plus a pipe [`Waker`], so stopping never waits on slow or
+//! dead peers.
+
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::{Buf, BytesMut};
+use polling::{BackendKind, Events, Poller, Waker};
+
+use crate::codec::{deframe, frame, Reply, Request};
+use crate::tcp::{Handler, SharedStats, TcpServerConfig};
+
+/// Reserved poller key for the listening socket.
+const KEY_LISTENER: usize = 0;
+/// Reserved poller key for the shutdown waker.
+const KEY_WAKER: usize = 1;
+/// First key handed to an accepted connection.
+const KEY_FIRST_CONN: usize = 2;
+
+/// Queued-reply bytes above which a connection stops being read.
+const HIGH_WATER: usize = 1 << 20;
+
+/// Per-read chunk size (matches the threaded transport).
+const CHUNK: usize = 16 * 1024;
+
+/// Handle owned by [`crate::TcpServer`]: signals the loop to stop and
+/// joins it.
+#[derive(Debug)]
+pub(crate) struct EventHandle {
+    stop: Arc<AtomicBool>,
+    waker: Waker,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl EventHandle {
+    /// Stops the loop promptly (never waits on peers) and joins it.
+    /// Idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts the readiness loop on `listener`. Returns the handle and the
+/// transport name (`"event-epoll"` / `"event-poll"`).
+pub(crate) fn spawn(
+    listener: TcpListener,
+    handler: Handler,
+    config: &TcpServerConfig,
+    stats: Arc<SharedStats>,
+) -> io::Result<(EventHandle, &'static str)> {
+    let poller = if config.force_poll_backend {
+        Poller::with_backend(BackendKind::Poll)?
+    } else {
+        Poller::new()?
+    };
+    let name = match poller.backend() {
+        BackendKind::Epoll => "event-epoll",
+        BackendKind::Poll => "event-poll",
+    };
+    listener.set_nonblocking(true)?;
+    let waker = Waker::new()?;
+    poller.add(listener.as_raw_fd(), KEY_LISTENER, true, false)?;
+    poller.add(waker.fd(), KEY_WAKER, true, false)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut event_loop = EventLoop {
+        poller,
+        listener,
+        waker: waker.clone(),
+        handler,
+        idle_timeout: config.idle_timeout,
+        stop: stop.clone(),
+        stats,
+        conns: HashMap::new(),
+        next_key: KEY_FIRST_CONN,
+    };
+    let thread = std::thread::Builder::new()
+        .name("communix-net-loop".into())
+        .spawn(move || event_loop.run())?;
+    Ok((
+        EventHandle {
+            stop,
+            waker,
+            thread: Some(thread),
+        },
+        name,
+    ))
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet assembled into a complete frame.
+    inbuf: BytesMut,
+    /// Encoded reply frames not yet accepted by the kernel.
+    out: BytesMut,
+    /// Last read or write *progress* (stalled writes don't count).
+    last_activity: Instant,
+    /// Currently registered poller interest.
+    want_read: bool,
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            inbuf: BytesMut::with_capacity(8 * 1024),
+            out: BytesMut::new(),
+            last_activity: now,
+            want_read: true,
+            want_write: false,
+        }
+    }
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    waker: Waker,
+    handler: Handler,
+    idle_timeout: Option<Duration>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events = Events::new();
+        // Idle eviction runs on a coarse sweep; waits are bounded by the
+        // sweep cadence so eviction happens even on a silent network.
+        let sweep_every = self
+            .idle_timeout
+            .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.poller.wait(&mut events, sweep_every).is_err() {
+                // A failing poller cannot make progress; exit rather
+                // than spin. Shutdown still joins normally.
+                break;
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let now = Instant::now();
+            for ev in events.iter() {
+                match ev.key {
+                    KEY_LISTENER => self.accept_ready(now),
+                    KEY_WAKER => self.waker.drain(),
+                    key => self.conn_ready(key, ev.readable, ev.writable, now),
+                }
+            }
+            if let (Some(every), Some(timeout)) = (sweep_every, self.idle_timeout) {
+                if now.duration_since(last_sweep) >= every {
+                    last_sweep = now;
+                    self.evict_idle(now, timeout);
+                }
+            }
+        }
+        // Drop every connection (sends RST/FIN); nothing to wait for.
+        for (_, conn) in self.conns.drain() {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.stats.disconnected();
+        }
+    }
+
+    /// Accepts until the listener would block.
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let key = self.next_key;
+                    self.next_key += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), key, true, false)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.stats.connected();
+                    self.conns.insert(key, Conn::new(stream, now));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient accept failures (e.g. fd exhaustion): give
+                // up for this event; level-triggered readiness retries.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Drives one connection's state machine for one readiness event.
+    fn conn_ready(&mut self, key: usize, readable: bool, writable: bool, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return; // already closed this iteration
+        };
+        let keep = drive(&self.handler, conn, readable, writable, now)
+            && sync_interest(&self.poller, key, conn);
+        if !keep {
+            self.close(key);
+        }
+    }
+
+    fn evict_idle(&mut self, now: Instant, timeout: Duration) {
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| now.duration_since(c.last_activity) > timeout)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in expired {
+            self.close(key);
+        }
+    }
+
+    fn close(&mut self, key: usize) {
+        if let Some(conn) = self.conns.remove(&key) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.stats.disconnected();
+        }
+    }
+}
+
+/// Runs reads, frame handling, and writes for one event. Returns `false`
+/// when the connection must be dropped (EOF, error, protocol violation).
+fn drive(handler: &Handler, conn: &mut Conn, readable: bool, writable: bool, now: Instant) -> bool {
+    if readable {
+        let mut chunk = [0u8; CHUNK];
+        loop {
+            if conn.out.len() >= HIGH_WATER {
+                break; // backpressure: drain before reading more
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => return false, // peer closed
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = now;
+                    if !process_frames(handler, conn) {
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+    if (writable || !conn.out.is_empty()) && !flush(conn, now) {
+        return false;
+    }
+    // A flush may have drained below the high-water mark: resume
+    // decoding frames that backpressure deferred.
+    process_frames(handler, conn) && flush(conn, now)
+}
+
+/// Decodes and handles every complete frame in `inbuf`, subject to the
+/// write high-water mark. Returns `false` on a framing violation.
+fn process_frames(handler: &Handler, conn: &mut Conn) -> bool {
+    while conn.out.len() < HIGH_WATER {
+        match deframe(&mut conn.inbuf) {
+            Ok(Some(payload)) => {
+                let reply = match Request::decode(payload) {
+                    Ok(req) => handler(req),
+                    Err(e) => Reply::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                conn.out.extend_from_slice(&frame(&reply.encode()));
+            }
+            Ok(None) => break,
+            Err(_) => return false, // oversized/absurd frame: drop
+        }
+    }
+    true
+}
+
+/// Writes queued replies until done or the kernel would block.
+fn flush(conn: &mut Conn, now: Instant) -> bool {
+    while !conn.out.is_empty() {
+        match conn.stream.write(&conn.out) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.out.advance(n);
+                conn.last_activity = now;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Re-registers the connection when its desired interest changed:
+/// readable unless backpressured, writable while replies are queued.
+fn sync_interest(poller: &Poller, key: usize, conn: &mut Conn) -> bool {
+    let want_read = conn.out.len() < HIGH_WATER;
+    let want_write = !conn.out.is_empty();
+    if (want_read, want_write) != (conn.want_read, conn.want_write) {
+        if poller
+            .modify(conn.stream.as_raw_fd(), key, want_read, want_write)
+            .is_err()
+        {
+            return false;
+        }
+        conn.want_read = want_read;
+        conn.want_write = want_write;
+    }
+    true
+}

@@ -1,19 +1,29 @@
 //! Network substrate for Communix: the wire protocol, a simulated network
 //! with NIC bandwidth modelling, and a real TCP transport.
 //!
-//! Two transports implement the same protocol:
+//! Three transports implement the same protocol:
 //!
 //! * [`SimNet`] — deterministic, virtual-time message passing where each
 //!   node's outgoing traffic serializes through a finite-bandwidth NIC.
 //!   This reproduces Figure 3's collapse: the server pushing
 //!   `(k+½)·N²·1.7 KB` per round through one NIC.
-//! * [`TcpServer`]/[`TcpClient`] — std::net blocking sockets with
-//!   length-prefixed frames, used end-to-end by the examples.
+//! * [`TcpServer::bind`] — the event-driven C10K server: one readiness
+//!   loop (epoll on Linux, `poll(2)` fallback, via the vendored
+//!   `polling` stand-in) of nonblocking sockets with per-connection
+//!   framed state machines, write backpressure, and idle eviction.
+//! * [`TcpServer::threaded`] — the thread-per-connection baseline the
+//!   event loop is benchmarked against.
+//!
+//! [`TcpClient`] is a blocking client compatible with both servers. All
+//! unsafe syscall plumbing lives in the vendored `polling` crate; this
+//! crate stays `forbid(unsafe_code)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod codec;
+#[cfg(unix)]
+mod event;
 mod simnet;
 mod tcp;
 
@@ -21,4 +31,4 @@ pub use codec::{
     deframe, frame, AddResult, BatchAdd, CodecError, EncryptedId, Reply, Request, MAX_FRAME,
 };
 pub use simnet::{Delivery, NicConfig, NodeId, SimNet};
-pub use tcp::{ClientError, Handler, TcpClient, TcpServer};
+pub use tcp::{ClientError, Handler, TcpClient, TcpServer, TcpServerConfig, TransportStats};

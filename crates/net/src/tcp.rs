@@ -1,41 +1,188 @@
-//! A real TCP transport (std::net, thread-per-connection) for the
-//! Communix protocol, used by the end-to-end examples and the localhost
-//! variant of the Figure 3 benchmark.
+//! A real TCP transport (std::net) for the Communix protocol, in two
+//! server flavors sharing one wire format and one blocking client:
+//!
+//! * **event-driven** (the default, [`TcpServer::bind`]) — a single
+//!   readiness loop of nonblocking sockets (epoll, `poll(2)` fallback)
+//!   driving per-connection state machines; see [`crate::event`]. This
+//!   is the C10K path: one server process holds tens of thousands of
+//!   concurrent connections.
+//! * **thread-per-connection** ([`TcpServer::threaded`]) — the
+//!   pre-event-loop baseline, kept for comparison benchmarks. Blocking
+//!   reads/writes run under a short socket timeout so connection
+//!   threads notice shutdown and idle peers promptly instead of parking
+//!   in `read` forever.
+//!
+//! Both servers evict connections that make no progress for
+//! [`TcpServerConfig::idle_timeout`] (slow-loris defense: a length
+//! prefix followed by a stall releases the connection's resources), and
+//! both count connections in [`TransportStats`].
 
-use std::io::{self, Read, Write};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 
 use crate::codec::{deframe, frame, CodecError, Reply, Request};
 
 /// A request handler: maps each request to a reply. Shared across
-/// connection threads.
+/// connection threads (threaded transport) or called from the readiness
+/// loop (event transport).
 pub type Handler = Arc<dyn Fn(Request) -> Reply + Send + Sync>;
+
+/// Server transport tunables.
+#[derive(Debug, Clone)]
+pub struct TcpServerConfig {
+    /// Evict a connection after this much time without read or write
+    /// progress (`None` disables eviction). Also the slow-loris bound:
+    /// a peer stalling mid-frame holds resources at most this long.
+    pub idle_timeout: Option<Duration>,
+    /// Force the event transport onto the portable `poll(2)` backend
+    /// even where epoll is available (tests and benchmark metadata).
+    pub force_poll_backend: bool,
+}
+
+impl Default for TcpServerConfig {
+    fn default() -> Self {
+        TcpServerConfig {
+            idle_timeout: Some(Duration::from_secs(30)),
+            force_poll_backend: false,
+        }
+    }
+}
+
+/// Connection counters, shared by both transports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Connections currently open.
+    pub current_connections: usize,
+    /// Highest simultaneous connection count seen.
+    pub peak_connections: usize,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+}
+
+/// Lock-free backing cells for [`TransportStats`].
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    accepted: AtomicU64,
+}
+
+impl SharedStats {
+    pub(crate) fn connected(&self) {
+        self.accepted.fetch_add(1, Ordering::AcqRel);
+        let now = self.current.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak.fetch_max(now, Ordering::AcqRel);
+    }
+
+    pub(crate) fn disconnected(&self) {
+        self.current.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            current_connections: self.current.load(Ordering::Acquire),
+            peak_connections: self.peak.load(Ordering::Acquire),
+            accepted: self.accepted.load(Ordering::Acquire),
+        }
+    }
+}
 
 /// A running TCP server for the Communix protocol.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    transport: &'static str,
+    stats: Arc<SharedStats>,
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Threaded {
+        stop: Arc<AtomicBool>,
+        accept_thread: Option<JoinHandle<()>>,
+    },
+    #[cfg(unix)]
+    Event(crate::event::EventHandle),
 }
 
 impl TcpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and serves
-    /// `handler` on a thread per connection.
+    /// `handler` on the default transport: the event-driven readiness
+    /// loop where available, falling back to thread-per-connection on
+    /// platforms without a poller.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: &str, handler: Handler) -> io::Result<TcpServer> {
+        Self::bind_with(addr, handler, TcpServerConfig::default())
+    }
+
+    /// [`TcpServer::bind`] with explicit [`TcpServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with(
+        addr: &str,
+        handler: Handler,
+        config: TcpServerConfig,
+    ) -> io::Result<TcpServer> {
+        #[cfg(unix)]
+        {
+            let listener = TcpListener::bind(addr)?;
+            let local = listener.local_addr()?;
+            let stats = Arc::new(SharedStats::default());
+            match crate::event::spawn(listener, handler.clone(), &config, stats.clone()) {
+                Ok((handle, transport)) => {
+                    return Ok(TcpServer {
+                        addr: local,
+                        transport,
+                        stats,
+                        inner: Inner::Event(handle),
+                    })
+                }
+                // No poller on this system: fall back to threads on a
+                // fresh socket (the first listener dies with this scope).
+                Err(e) if e.kind() == ErrorKind::Unsupported => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Self::threaded_with(addr, handler, config)
+    }
+
+    /// Binds the thread-per-connection baseline transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn threaded(addr: &str, handler: Handler) -> io::Result<TcpServer> {
+        Self::threaded_with(addr, handler, TcpServerConfig::default())
+    }
+
+    /// [`TcpServer::threaded`] with explicit [`TcpServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn threaded_with(
+        addr: &str,
+        handler: Handler,
+        config: TcpServerConfig,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
         let stop2 = stop.clone();
+        let stats2 = stats.clone();
         let accept_thread = std::thread::spawn(move || {
             let mut conn_threads = Vec::new();
             for stream in listener.incoming() {
@@ -45,21 +192,33 @@ impl TcpServer {
                 match stream {
                     Ok(stream) => {
                         let handler = handler.clone();
+                        let stop = stop2.clone();
+                        let stats = stats2.clone();
+                        let idle_timeout = config.idle_timeout;
+                        stats.connected();
                         conn_threads.push(std::thread::spawn(move || {
-                            let _ = serve_connection(stream, handler);
+                            let _ = serve_connection(stream, handler, &stop, idle_timeout);
+                            stats.disconnected();
                         }));
                     }
                     Err(_) => break,
                 }
             }
+            // Threads exit within one tick of the stop flag (or their
+            // peer hanging up), so this join completes promptly even
+            // with slow clients still connected.
             for t in conn_threads {
                 let _ = t.join();
             }
         });
         Ok(TcpServer {
             addr: local,
-            stop,
-            accept_thread: Some(accept_thread),
+            transport: "threaded",
+            stats,
+            inner: Inner::Threaded {
+                stop,
+                accept_thread: Some(accept_thread),
+            },
         })
     }
 
@@ -68,15 +227,36 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting and joins the accept loop. Idempotent.
+    /// The serving transport: `"event-epoll"`, `"event-poll"`, or
+    /// `"threaded"`.
+    pub fn transport(&self) -> &'static str {
+        self.transport
+    }
+
+    /// Connection counter snapshot.
+    pub fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops serving and joins the transport. Live connections are
+    /// dropped, not waited for. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match &mut self.inner {
+            Inner::Threaded {
+                stop,
+                accept_thread,
+            } => {
+                if stop.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                // Unblock the accept loop with a dummy connection.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+            }
+            #[cfg(unix)]
+            Inner::Event(handle) => handle.shutdown(),
         }
     }
 }
@@ -87,9 +267,29 @@ impl Drop for TcpServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, handler: Handler) -> io::Result<()> {
+/// Socket timeout for the threaded transport's blocking reads/writes:
+/// the granularity at which connection threads notice the stop flag and
+/// idle deadlines.
+const THREADED_TICK: Duration = Duration::from_millis(50);
+
+/// Whether a blocking-socket error is a timeout tick (Linux reports
+/// `WouldBlock`, other platforms `TimedOut`).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: Handler,
+    stop: &AtomicBool,
+    idle_timeout: Option<Duration>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(THREADED_TICK))?;
+    stream.set_write_timeout(Some(THREADED_TICK))?;
     let mut buf = BytesMut::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    let expired = |last: Instant| idle_timeout.is_some_and(|t| last.elapsed() > t);
     loop {
         // Drain complete frames.
         loop {
@@ -101,17 +301,47 @@ fn serve_connection(mut stream: TcpStream, handler: Handler) -> io::Result<()> {
                             message: format!("bad request: {e}"),
                         },
                     };
-                    stream.write_all(&frame(&reply.encode()))?;
+                    let bytes = frame(&reply.encode());
+                    // Manual write loop: write_all would park forever on
+                    // a peer that never drains its receive buffer.
+                    let mut written = 0;
+                    while written < bytes.len() {
+                        match stream.write(&bytes[written..]) {
+                            Ok(0) => return Ok(()),
+                            Ok(n) => {
+                                written += n;
+                                last_activity = Instant::now();
+                            }
+                            Err(e) if is_timeout(&e) => {
+                                if stop.load(Ordering::SeqCst) || expired(last_activity) {
+                                    return Ok(());
+                                }
+                            }
+                            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
                 }
                 Ok(None) => break,
                 Err(_) => return Ok(()), // protocol violation: drop
             }
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(()); // peer closed
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e) if is_timeout(&e) => {
+                // A tick without bytes: exit on shutdown, evict idle and
+                // mid-frame-stalled (slow-loris) peers past the timeout.
+                if stop.load(Ordering::SeqCst) || expired(last_activity) {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
-        buf.extend_from_slice(&chunk[..n]);
     }
 }
 
@@ -150,7 +380,8 @@ impl From<CodecError> for ClientError {
     }
 }
 
-/// A blocking TCP client for the Communix protocol.
+/// A blocking TCP client for the Communix protocol. Wire-compatible
+/// with both server transports.
 #[derive(Debug)]
 pub struct TcpClient {
     stream: TcpStream,
@@ -198,10 +429,10 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    fn echo_server() -> TcpServer {
+    fn echo_handler() -> Handler {
         // A toy handler: GET(k) answers with k signatures "s0".."s(k-1)";
         // ADD acks and remembers nothing.
-        let handler: Handler = Arc::new(|req| match req {
+        Arc::new(|req| match req {
             Request::Add { .. } => Reply::AddAck {
                 accepted: true,
                 reason: String::new(),
@@ -229,69 +460,109 @@ mod tests {
                     .map(|i| format!("s{}", from + u64::from(i)))
                     .collect(),
             },
-        });
-        TcpServer::bind("127.0.0.1:0", handler).expect("bind")
+        })
+    }
+
+    fn echo_server() -> TcpServer {
+        TcpServer::bind("127.0.0.1:0", echo_handler()).expect("bind")
+    }
+
+    /// Every transport a test may want to exercise.
+    fn all_transports() -> Vec<TcpServer> {
+        vec![
+            TcpServer::bind("127.0.0.1:0", echo_handler()).expect("bind event"),
+            TcpServer::bind_with(
+                "127.0.0.1:0",
+                echo_handler(),
+                TcpServerConfig {
+                    force_poll_backend: true,
+                    ..TcpServerConfig::default()
+                },
+            )
+            .expect("bind event-poll"),
+            TcpServer::threaded("127.0.0.1:0", echo_handler()).expect("bind threaded"),
+        ]
     }
 
     #[test]
-    fn request_reply_roundtrip() {
+    fn default_transport_is_event_driven_on_unix() {
         let server = echo_server();
-        let mut client = TcpClient::connect(server.addr()).unwrap();
-        let reply = client
-            .call(&Request::Add {
-                sender: [1u8; 16],
-                sig_text: "sig".into(),
-            })
-            .unwrap();
-        assert_eq!(
-            reply,
-            Reply::AddAck {
-                accepted: true,
-                reason: String::new()
-            }
-        );
-        let reply = client.call(&Request::Get { from: 3 }).unwrap();
-        assert_eq!(
-            reply,
-            Reply::Sigs {
-                from: 3,
-                sigs: vec!["s0".into(), "s1".into(), "s2".into()]
-            }
-        );
+        if cfg!(unix) {
+            assert!(
+                server.transport().starts_with("event-"),
+                "got {}",
+                server.transport()
+            );
+        }
+    }
+
+    #[test]
+    fn request_reply_roundtrip_on_every_transport() {
+        for server in all_transports() {
+            let mut client = TcpClient::connect(server.addr()).unwrap();
+            let reply = client
+                .call(&Request::Add {
+                    sender: [1u8; 16],
+                    sig_text: "sig".into(),
+                })
+                .unwrap();
+            assert_eq!(
+                reply,
+                Reply::AddAck {
+                    accepted: true,
+                    reason: String::new()
+                },
+                "transport {}",
+                server.transport()
+            );
+            let reply = client.call(&Request::Get { from: 3 }).unwrap();
+            assert_eq!(
+                reply,
+                Reply::Sigs {
+                    from: 3,
+                    sigs: vec!["s0".into(), "s1".into(), "s2".into()]
+                }
+            );
+        }
     }
 
     #[test]
     fn multiple_sequential_calls_on_one_connection() {
-        let server = echo_server();
-        let mut client = TcpClient::connect(server.addr()).unwrap();
-        for i in 0..20 {
-            let reply = client.call(&Request::Get { from: i }).unwrap();
-            match reply {
-                Reply::Sigs { from, sigs } => {
-                    assert_eq!(from, i);
-                    assert_eq!(sigs.len() as u64, i);
+        for server in all_transports() {
+            let mut client = TcpClient::connect(server.addr()).unwrap();
+            for i in 0..20 {
+                let reply = client.call(&Request::Get { from: i }).unwrap();
+                match reply {
+                    Reply::Sigs { from, sigs } => {
+                        assert_eq!(from, i);
+                        assert_eq!(sigs.len() as u64, i);
+                    }
+                    other => panic!("unexpected {other:?}"),
                 }
-                other => panic!("unexpected {other:?}"),
             }
         }
     }
 
     #[test]
     fn concurrent_clients() {
-        let server = echo_server();
-        let addr = server.addr();
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            handles.push(std::thread::spawn(move || {
-                let mut c = TcpClient::connect(addr).unwrap();
-                for i in 0..50 {
-                    let r = c.call(&Request::Get { from: i }).unwrap();
-                    assert!(matches!(r, Reply::Sigs { .. }));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
+        for server in all_transports() {
+            let addr = server.addr();
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                handles.push(std::thread::spawn(move || {
+                    let mut c = TcpClient::connect(addr).unwrap();
+                    for i in 0..50 {
+                        let r = c.call(&Request::Get { from: i }).unwrap();
+                        assert!(matches!(r, Reply::Sigs { .. }));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let stats = server.stats();
+            assert_eq!(stats.accepted, 8, "transport {}", server.transport());
+            assert!(stats.peak_connections >= 1);
         }
     }
 
@@ -322,10 +593,30 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_is_idempotent() {
-        let mut server = echo_server();
-        server.shutdown();
-        server.shutdown();
+    fn shutdown_is_idempotent_on_every_transport() {
+        for mut server in all_transports() {
+            server.shutdown();
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn shutdown_completes_with_a_live_slow_client() {
+        // The original thread-per-connection server joined against
+        // connection threads parked in read() — a connected-but-silent
+        // client made shutdown hang forever. Both transports must stop
+        // promptly with such a client attached.
+        for mut server in all_transports() {
+            let transport = server.transport();
+            let _parked = TcpClient::connect(server.addr()).unwrap();
+            let t0 = Instant::now();
+            server.shutdown();
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "{transport} shutdown took {:?}",
+                t0.elapsed()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Event-transport integration: partial-frame reassembly, short-write
+//! resumption, idle eviction (slow-loris defense), shutdown promptness,
+//! and a 1000-connection smoke test.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use communix_net::{frame, Handler, Reply, Request, TcpClient, TcpServer, TcpServerConfig};
+
+/// GET(k) answers with k constant-size signatures — large k makes a
+/// multi-megabyte reply, which is what forces short writes.
+fn echo_handler() -> Handler {
+    Arc::new(|req| match req {
+        Request::Get { from } => Reply::Sigs {
+            from,
+            sigs: (0..from).map(|i| format!("sig-{i:08}")).collect(),
+        },
+        Request::IssueId { user } => Reply::Id {
+            id: [(user & 0xff) as u8; 16],
+        },
+        _ => Reply::Error {
+            message: "unsupported in this test".into(),
+        },
+    })
+}
+
+fn event_server(config: TcpServerConfig) -> TcpServer {
+    let server = TcpServer::bind_with("127.0.0.1:0", echo_handler(), config).unwrap();
+    assert!(
+        server.transport().starts_with("event-"),
+        "these tests exercise the event transport, got {}",
+        server.transport()
+    );
+    server
+}
+
+/// Each transport flavor, with the given idle timeout.
+fn all_transports(idle_timeout: Option<Duration>) -> Vec<TcpServer> {
+    let cfg = TcpServerConfig {
+        idle_timeout,
+        ..TcpServerConfig::default()
+    };
+    vec![
+        event_server(cfg.clone()),
+        event_server(TcpServerConfig {
+            force_poll_backend: true,
+            ..cfg.clone()
+        }),
+        TcpServer::threaded_with("127.0.0.1:0", echo_handler(), cfg).unwrap(),
+    ]
+}
+
+#[test]
+fn partial_frames_reassemble_across_many_reads() {
+    for server in all_transports(Some(Duration::from_secs(30))) {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        let bytes = frame(&Request::IssueId { user: 9 }.encode());
+        // Dribble the frame one byte at a time with pauses: the server
+        // sees many partial reads before the frame completes.
+        for b in bytes.to_vec() {
+            raw.write_all(&[b]).unwrap();
+            raw.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut reply = Vec::new();
+        let mut chunk = [0u8; 1024];
+        while reply.len() < 4 + 17 {
+            let n = raw.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed early on {}", server.transport());
+            reply.extend_from_slice(&chunk[..n]);
+        }
+        let payload = bytes::Bytes::from(reply[4..].to_vec());
+        assert_eq!(
+            Reply::decode(payload).unwrap(),
+            Reply::Id { id: [9u8; 16] },
+            "transport {}",
+            server.transport()
+        );
+    }
+}
+
+#[test]
+fn two_pipelined_requests_in_one_write() {
+    // Both frames land in one segment; the server must answer both, in
+    // order, on every transport.
+    for server in all_transports(Some(Duration::from_secs(30))) {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        let mut bytes = frame(&Request::IssueId { user: 1 }.encode()).to_vec();
+        bytes.extend_from_slice(&frame(&Request::IssueId { user: 2 }.encode()));
+        raw.write_all(&bytes).unwrap();
+        let mut got = Vec::new();
+        let mut chunk = [0u8; 1024];
+        while got.len() < 2 * (4 + 17) {
+            let n = raw.read(&mut chunk).unwrap();
+            assert!(n > 0);
+            got.extend_from_slice(&chunk[..n]);
+        }
+        let first = Reply::decode(bytes::Bytes::from(got[4..4 + 17].to_vec())).unwrap();
+        let second = Reply::decode(bytes::Bytes::from(got[2 * 4 + 17..].to_vec())).unwrap();
+        assert_eq!(first, Reply::Id { id: [1u8; 16] });
+        assert_eq!(second, Reply::Id { id: [2u8; 16] });
+    }
+}
+
+#[test]
+fn short_writes_resume_against_a_slow_reader() {
+    // A multi-megabyte reply cannot fit in the kernel send buffer: the
+    // server necessarily hits WouldBlock mid-reply and must resume via
+    // write-interest. The client drains slowly, after a pause.
+    for server in all_transports(Some(Duration::from_secs(30))) {
+        let transport = server.transport();
+        let mut client = TcpClient::connect(server.addr()).unwrap();
+        // ~200k sigs × 12 bytes ≈ 2.4 MB of reply payload.
+        std::thread::sleep(Duration::from_millis(50));
+        let reply = client.call(&Request::Get { from: 200_000 }).unwrap();
+        match reply {
+            Reply::Sigs { from, sigs } => {
+                assert_eq!(from, 200_000, "transport {transport}");
+                assert_eq!(sigs.len(), 200_000);
+                assert_eq!(sigs[199_999], "sig-00199999");
+            }
+            other => panic!("unexpected {other:?} on {transport}"),
+        }
+    }
+}
+
+#[test]
+fn idle_connections_are_evicted() {
+    for server in all_transports(Some(Duration::from_millis(150))) {
+        let transport = server.transport();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        // Healthy at first...
+        raw.write_all(&frame(&Request::IssueId { user: 1 }.encode()))
+            .unwrap();
+        let mut chunk = [0u8; 64];
+        assert!(raw.read(&mut chunk).unwrap() > 0);
+        // ...then silent past the idle timeout: the server must close.
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let t0 = Instant::now();
+        let n = raw.read(&mut chunk).unwrap_or(0);
+        assert_eq!(n, 0, "expected eviction EOF on {transport}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "eviction took {:?} on {transport}",
+            t0.elapsed()
+        );
+        // The connection's resources are released server-side.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().current_connections > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.stats().current_connections, 0, "on {transport}");
+    }
+}
+
+#[test]
+fn slow_loris_mid_frame_is_evicted() {
+    // The attack: send a plausible length prefix, then stall inside the
+    // frame forever. Without idle eviction this pins a connection (and,
+    // on the threaded baseline, a whole OS thread) indefinitely.
+    for server in all_transports(Some(Duration::from_millis(150))) {
+        let transport = server.transport();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(&1024u32.to_be_bytes()).unwrap(); // frame of 1 KiB...
+        raw.write_all(&[0x01, 0x02, 0x03]).unwrap(); // ...but only 3 bytes sent
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut chunk = [0u8; 64];
+        let t0 = Instant::now();
+        let n = raw.read(&mut chunk).unwrap_or(0);
+        assert_eq!(n, 0, "expected eviction EOF on {transport}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "slow-loris held the connection {:?} on {transport}",
+            t0.elapsed()
+        );
+    }
+}
+
+#[test]
+fn truncated_frame_peer_disconnect_releases_the_connection() {
+    for server in all_transports(Some(Duration::from_secs(30))) {
+        let transport = server.transport();
+        {
+            let mut raw = TcpStream::connect(server.addr()).unwrap();
+            raw.write_all(&64u32.to_be_bytes()).unwrap();
+            raw.write_all(&[0xAA; 10]).unwrap();
+            // Dropped here: closed mid-frame.
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().current_connections > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            server.stats().current_connections,
+            0,
+            "mid-frame disconnect leaked a connection on {transport}"
+        );
+    }
+}
+
+#[test]
+fn one_thousand_concurrent_connections_smoke() {
+    // C10K smoke at test scale: 1000 simultaneous connections on one
+    // event loop, each answering a call while all others stay open.
+    // (The full 2k/10k sweep lives in the server_throughput bench.)
+    let _ = polling::raise_fd_limit();
+    let server = event_server(TcpServerConfig {
+        idle_timeout: Some(Duration::from_secs(60)),
+        ..TcpServerConfig::default()
+    });
+    let mut clients: Vec<TcpClient> = (0..1000)
+        .map(|_| TcpClient::connect(server.addr()).unwrap())
+        .collect();
+    // All 1000 are open simultaneously before any is dropped.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().current_connections < 1000 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().current_connections, 1000);
+    for (i, c) in clients.iter_mut().enumerate() {
+        let reply = c.call(&Request::IssueId { user: i as u64 }).unwrap();
+        assert_eq!(
+            reply,
+            Reply::Id {
+                id: [(i & 0xff) as u8; 16]
+            }
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.peak_connections, 1000);
+    assert_eq!(stats.accepted, 1000);
+}
+
+#[test]
+fn garbage_framing_drops_only_the_offending_connection() {
+    let server = event_server(TcpServerConfig::default());
+    let mut good = TcpClient::connect(server.addr()).unwrap();
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(&(u32::MAX).to_be_bytes()).unwrap(); // absurd length
+        raw.write_all(&[0u8; 16]).unwrap();
+        let mut chunk = [0u8; 16];
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(raw.read(&mut chunk).unwrap_or(0), 0, "server must drop");
+    }
+    // The well-behaved connection is untouched.
+    let reply = good.call(&Request::IssueId { user: 3 }).unwrap();
+    assert_eq!(reply, Reply::Id { id: [3u8; 16] });
+}

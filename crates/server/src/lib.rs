@@ -9,7 +9,9 @@
 mod auth;
 mod db;
 mod server;
+mod transport;
 
 pub use auth::IdAuthority;
 pub use db::{ShardStats, SignatureDb, DEFAULT_SHARDS};
 pub use server::{CommunixServer, RejectReason, ServerConfig, ServerStats};
+pub use transport::{serve, serve_threaded, serve_with};

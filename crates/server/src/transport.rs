@@ -1,0 +1,112 @@
+//! Serving a [`CommunixServer`] over TCP.
+//!
+//! The paper's deployment model is one central server carrying the whole
+//! immunity network, so the default transport is the event-driven C10K
+//! loop from `communix-net` ([`serve`]); the thread-per-connection
+//! baseline stays available as [`serve_threaded`] for comparison runs.
+
+use std::io;
+use std::sync::Arc;
+
+use communix_net::{Handler, TcpServer, TcpServerConfig};
+
+use crate::CommunixServer;
+
+fn handler(server: Arc<CommunixServer>) -> Handler {
+    Arc::new(move |req| server.handle(req))
+}
+
+/// Serves `server` on `addr` (port 0 for ephemeral) over the default
+/// transport — the event-driven readiness loop.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use communix_clock::SystemClock;
+/// use communix_server::{serve, CommunixServer, ServerConfig};
+///
+/// let server = Arc::new(CommunixServer::new(
+///     ServerConfig::default(),
+///     Arc::new(SystemClock::new()),
+/// ));
+/// let tcp = serve("127.0.0.1:0", server).unwrap();
+/// println!("listening on {} via {}", tcp.addr(), tcp.transport());
+/// ```
+pub fn serve(addr: &str, server: Arc<CommunixServer>) -> io::Result<TcpServer> {
+    TcpServer::bind(addr, handler(server))
+}
+
+/// [`serve`] with explicit transport tunables (idle timeout, poller
+/// backend).
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_with(
+    addr: &str,
+    server: Arc<CommunixServer>,
+    config: TcpServerConfig,
+) -> io::Result<TcpServer> {
+    TcpServer::bind_with(addr, handler(server), config)
+}
+
+/// Serves over the thread-per-connection baseline transport.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_threaded(
+    addr: &str,
+    server: Arc<CommunixServer>,
+    config: TcpServerConfig,
+) -> io::Result<TcpServer> {
+    TcpServer::threaded_with(addr, handler(server), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use communix_clock::SystemClock;
+    use communix_net::{Reply, Request, TcpClient};
+
+    use crate::ServerConfig;
+
+    fn communix() -> Arc<CommunixServer> {
+        Arc::new(CommunixServer::new(
+            ServerConfig::default(),
+            Arc::new(SystemClock::new()),
+        ))
+    }
+
+    #[test]
+    fn serve_uses_the_event_transport_by_default() {
+        let srv = communix();
+        let tcp = serve("127.0.0.1:0", srv.clone()).unwrap();
+        if cfg!(unix) {
+            assert!(tcp.transport().starts_with("event-"));
+        }
+        let mut c = TcpClient::connect(tcp.addr()).unwrap();
+        let id = srv.authority().issue(4);
+        match c.call(&Request::IssueId { user: 4 }).unwrap() {
+            Reply::Id { id: got } => assert_eq!(got, id),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_baseline_serves_the_same_protocol() {
+        let srv = communix();
+        let tcp = serve_threaded("127.0.0.1:0", srv, TcpServerConfig::default()).unwrap();
+        assert_eq!(tcp.transport(), "threaded");
+        let mut c = TcpClient::connect(tcp.addr()).unwrap();
+        match c.call(&Request::Get { from: 0 }).unwrap() {
+            Reply::Sigs { sigs, .. } => assert!(sigs.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

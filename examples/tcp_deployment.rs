@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use communix::client::{ClientDaemon, Connector, LocalRepository};
 use communix::clock::SystemClock;
-use communix::net::{Reply, Request, TcpClient, TcpServer};
+use communix::net::{Reply, Request, TcpClient};
 use communix::server::{CommunixServer, ServerConfig};
 use communix::workloads::DeadlockApp;
 use communix::{CommunixNode, NodeConfig};
@@ -40,13 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServerConfig::default(),
         Arc::new(SystemClock::new()),
     ));
-    let handler_server = server.clone();
-    let mut tcp = TcpServer::bind(
-        "127.0.0.1:0",
-        Arc::new(move |req| handler_server.handle(req)),
-    )?;
+    let mut tcp = communix::server::serve("127.0.0.1:0", server.clone())?;
     let addr = tcp.addr();
-    println!("server: listening on {addr}");
+    println!(
+        "server: listening on {addr} ({} transport)",
+        tcp.transport()
+    );
 
     let app = DeadlockApp::new(4);
 

@@ -26,7 +26,7 @@
 //! | [`agent`] | client-side validation & generalization |
 //! | [`server`] | signature DB, encrypted ids, adjacency & rate limits |
 //! | [`client`] | local repository, incremental sync, daemon |
-//! | [`net`] | wire codec, simulated network, TCP transport |
+//! | [`net`] | wire codec, simulated network, event-driven C10K TCP transport |
 //! | [`crypto`] | SHA-256 and AES-128 (FIPS-tested, from scratch) |
 //! | [`clock`] | virtual + system clocks |
 //! | [`workloads`] | Table I/II workloads, attackers, §IV-C model |

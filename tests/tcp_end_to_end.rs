@@ -27,8 +27,7 @@ fn spawn_server() -> (TcpServer, Arc<CommunixServer>) {
         ServerConfig::default(),
         Arc::new(SystemClock::new()),
     ));
-    let h = server.clone();
-    let tcp = TcpServer::bind("127.0.0.1:0", Arc::new(move |req| h.handle(req))).unwrap();
+    let tcp = communix::server::serve("127.0.0.1:0", server.clone()).unwrap();
     (tcp, server)
 }
 
@@ -127,8 +126,6 @@ fn garbage_bytes_do_not_crash_the_server() {
             .unwrap();
         assert!(matches!(reply, Reply::AddAck { accepted: true, .. }));
     }
-    // Every client is closed before shutdown: TcpServer::shutdown joins
-    // its connection threads, which run until their peer disconnects.
     tcp.shutdown();
 }
 
@@ -174,8 +171,7 @@ fn node_survives_flaky_server_and_recovers() {
     assert_eq!(o.deadlocks.len(), 1, "unprotected, but functional");
 
     // The server comes back (new socket, same database).
-    let h = server.clone();
-    let tcp2 = TcpServer::bind("127.0.0.1:0", Arc::new(move |req| h.handle(req))).unwrap();
+    let tcp2 = communix::server::serve("127.0.0.1:0", server.clone()).unwrap();
     let mut conn2 = TcpConnector { addr: tcp2.addr() };
     assert_eq!(b.sync(&mut conn2).unwrap(), 1);
     b.startup();

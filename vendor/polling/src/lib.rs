@@ -1,0 +1,867 @@
+//! Minimal in-tree stand-in for the `polling` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the small readiness-notification surface the workspace's
+//! event-driven TCP transport needs, directly over raw syscalls:
+//!
+//! * [`Poller`] — *level-triggered* readiness for a set of file
+//!   descriptors. On Linux it is backed by `epoll(7)`; everywhere else
+//!   (or when epoll creation fails, or on explicit request) it falls
+//!   back to plain `poll(2)`. Unlike the real `polling` crate the
+//!   interest is **not** oneshot: a registration stays armed until
+//!   [`Poller::modify`] or [`Poller::delete`] changes it.
+//! * [`Waker`] — a self-pipe that makes [`Poller::wait`] return from
+//!   another thread (used for shutdown signalling).
+//! * [`fd_limit`] / [`raise_fd_limit`] — `RLIMIT_NOFILE` helpers so a
+//!   C10K process can lift its soft fd limit to the hard cap and report
+//!   both in benchmark metadata.
+//!
+//! All unsafe code in the workspace lives here, behind a safe API; the
+//! transport crate itself keeps `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A raw file descriptor (`i32` on every supported platform).
+#[cfg(unix)]
+pub use std::os::unix::io::RawFd;
+/// A raw file descriptor (`i32` on every supported platform).
+#[cfg(not(unix))]
+pub type RawFd = i32;
+
+/// One readiness event reported by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the file descriptor was registered with.
+    pub key: usize,
+    /// The descriptor is readable (or hung up / errored — callers should
+    /// attempt a read and observe EOF or the error).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+}
+
+/// A reusable buffer of [`Event`]s filled by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty event buffer.
+    pub fn new() -> Self {
+        Events::default()
+    }
+
+    /// Iterates over the events of the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last wait returned no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Clears the buffer (done automatically by [`Poller::wait`]).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// Which kernel interface backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Linux `epoll(7)`: O(ready) wakeups, the C10K default.
+    Epoll,
+    /// Portable `poll(2)`: O(registered) per wait, the fallback.
+    Poll,
+}
+
+impl BackendKind {
+    /// Stable lowercase name, used in benchmark metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Epoll => "epoll",
+            BackendKind::Poll => "poll",
+        }
+    }
+}
+
+/// Level-triggered readiness for a set of file descriptors.
+///
+/// Registration, modification, and waiting are expected to happen on one
+/// thread (the event loop); [`Waker`] is the cross-thread signal.
+#[derive(Debug)]
+pub struct Poller {
+    backend: imp::Backend,
+}
+
+impl Poller {
+    /// Creates a poller on the best backend for this platform: epoll on
+    /// Linux, `poll(2)` elsewhere or if epoll creation fails.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend creation failures (and always fails on
+    /// non-unix platforms).
+    pub fn new() -> io::Result<Poller> {
+        match imp::Backend::epoll() {
+            Ok(b) => Ok(Poller { backend: b }),
+            Err(_) => Self::with_backend(BackendKind::Poll),
+        }
+    }
+
+    /// Creates a poller on a specific backend (tests and benchmarks use
+    /// this to exercise the `poll(2)` fallback on Linux).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the requested backend is unavailable on this platform.
+    pub fn with_backend(kind: BackendKind) -> io::Result<Poller> {
+        let backend = match kind {
+            BackendKind::Epoll => imp::Backend::epoll()?,
+            BackendKind::Poll => imp::Backend::poll()?,
+        };
+        Ok(Poller { backend })
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Registers `fd` under `key` with the given interest. The
+    /// registration is level-triggered and stays armed until changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+        self.backend.add(fd, key, readable, writable)
+    }
+
+    /// Changes the interest of an already-registered descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn modify(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+        self.backend.modify(fd, key, readable, writable)
+    }
+
+    /// Removes a descriptor from the set. Must be called before the fd
+    /// is closed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.backend.delete(fd)
+    }
+
+    /// Blocks until at least one registered descriptor is ready or the
+    /// timeout elapses (`None` waits forever). Fills `events` and
+    /// returns the number of events; `0` means timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying syscall failure (`EINTR` is retried
+    /// internally).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.backend.wait(&mut events.inner, timeout)?;
+        Ok(events.inner.len())
+    }
+}
+
+/// A cross-thread wakeup for [`Poller::wait`], built on a non-blocking
+/// self-pipe. Register [`Waker::fd`] (readable) with the poller under a
+/// reserved key; call [`Waker::wake`] from any thread; the event loop
+/// calls [`Waker::drain`] when that key fires.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    inner: Arc<imp::Pipe>,
+}
+
+impl Waker {
+    /// Creates the waker pipe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipe creation failure.
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            inner: Arc::new(imp::Pipe::new()?),
+        })
+    }
+
+    /// The read end, to be registered readable with the poller.
+    pub fn fd(&self) -> RawFd {
+        self.inner.read_fd()
+    }
+
+    /// Makes the poller's current (or next) wait return. Cheap and
+    /// idempotent: wakes coalesce until drained.
+    pub fn wake(&self) {
+        self.inner.write_byte();
+    }
+
+    /// Consumes pending wakeups so the pipe stops reading ready.
+    pub fn drain(&self) {
+        self.inner.drain();
+    }
+}
+
+/// Returns the process fd limits `(soft, hard)` from `RLIMIT_NOFILE`.
+///
+/// # Errors
+///
+/// Propagates the `getrlimit` failure (and always fails on non-unix).
+pub fn fd_limit() -> io::Result<(u64, u64)> {
+    imp::fd_limit()
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit and returns the new
+/// soft limit. A no-op (returning the current soft limit) when already
+/// at the cap.
+///
+/// # Errors
+///
+/// Propagates the `setrlimit` failure.
+pub fn raise_fd_limit() -> io::Result<u64> {
+    imp::raise_fd_limit()
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    use super::{BackendKind, Event, RawFd};
+
+    // The syscall surface, declared directly against libc (std already
+    // links it); the workspace vendors no `libc` crate.
+    extern "C" {
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        #[cfg(not(target_os = "linux"))]
+        fn pipe(fds: *mut c_int) -> c_int;
+        #[cfg(not(target_os = "linux"))]
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    #[repr(C)]
+    struct Rlimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: c_int = 8; // macOS / BSDs
+
+    pub fn fd_limit() -> io::Result<(u64, u64)> {
+        let mut r = Rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: `r` is a valid, writable Rlimit for the duration of
+        // the call.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut r) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok((r.rlim_cur, r.rlim_max))
+    }
+
+    pub fn raise_fd_limit() -> io::Result<u64> {
+        let (soft, hard) = fd_limit()?;
+        if soft >= hard {
+            return Ok(soft);
+        }
+        let r = Rlimit {
+            rlim_cur: hard,
+            rlim_max: hard,
+        };
+        // SAFETY: `r` is a valid Rlimit for the duration of the call.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &r) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(hard)
+    }
+
+    fn close_fd(fd: RawFd) {
+        // SAFETY: called exactly once per owned fd, on drop paths.
+        unsafe {
+            close(fd);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Self-pipe waker.
+    // ------------------------------------------------------------------
+
+    #[derive(Debug)]
+    pub struct Pipe {
+        r: RawFd,
+        w: RawFd,
+    }
+
+    impl Pipe {
+        pub fn new() -> io::Result<Pipe> {
+            let mut fds = [0 as c_int; 2];
+            #[cfg(target_os = "linux")]
+            {
+                const O_NONBLOCK: c_int = 0o4000;
+                const O_CLOEXEC: c_int = 0o2000000;
+                // SAFETY: `fds` is a valid 2-element array.
+                if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                const F_SETFL: c_int = 4;
+                const O_NONBLOCK: c_int = 0o4000;
+                // SAFETY: `fds` is a valid 2-element array; fcntl is
+                // applied to the fds pipe() just returned.
+                unsafe {
+                    if pipe(fds.as_mut_ptr()) != 0 {
+                        return Err(io::Error::last_os_error());
+                    }
+                    fcntl(fds[0], F_SETFL, O_NONBLOCK);
+                    fcntl(fds[1], F_SETFL, O_NONBLOCK);
+                }
+            }
+            Ok(Pipe {
+                r: fds[0],
+                w: fds[1],
+            })
+        }
+
+        pub fn read_fd(&self) -> RawFd {
+            self.r
+        }
+
+        pub fn write_byte(&self) {
+            let byte = 1u8;
+            // SAFETY: writes one byte from a valid buffer to an owned
+            // fd; EAGAIN (pipe already full of wakeups) is fine.
+            unsafe {
+                write(self.w, (&raw const byte).cast(), 1);
+            }
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            // SAFETY: reads into a valid buffer from an owned
+            // non-blocking fd; loop ends on EAGAIN or EOF.
+            while unsafe { read(self.r, buf.as_mut_ptr().cast(), buf.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for Pipe {
+        fn drop(&mut self) {
+            close_fd(self.r);
+            close_fd(self.w);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // epoll backend (Linux).
+    // ------------------------------------------------------------------
+
+    #[cfg_attr(all(target_os = "linux", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(all(target_os = "linux", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    mod epoll_consts {
+        use std::os::raw::c_int;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    }
+
+    // ------------------------------------------------------------------
+    // poll(2) backend (portable fallback).
+    // ------------------------------------------------------------------
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[derive(Debug)]
+    pub enum Backend {
+        #[cfg(target_os = "linux")]
+        Epoll { epfd: RawFd },
+        Poll {
+            // fd → (key, readable, writable). Mutex (not RefCell) so the
+            // Poller stays Sync; the event loop is the only mutator.
+            interest: Mutex<HashMap<RawFd, (usize, bool, bool)>>,
+        },
+    }
+
+    /// Cap on events surfaced per wait; more simply arrive next wait.
+    const MAX_EVENTS: usize = 1024;
+
+    impl Backend {
+        pub fn epoll() -> io::Result<Backend> {
+            #[cfg(target_os = "linux")]
+            {
+                // SAFETY: plain syscall, no pointers.
+                let epfd = unsafe { epoll_create1(epoll_consts::EPOLL_CLOEXEC) };
+                if epfd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(Backend::Epoll { epfd })
+            }
+            #[cfg(not(target_os = "linux"))]
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll is Linux-only",
+            ))
+        }
+
+        pub fn poll() -> io::Result<Backend> {
+            Ok(Backend::Poll {
+                interest: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub fn kind(&self) -> BackendKind {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { .. } => BackendKind::Epoll,
+                Backend::Poll { .. } => BackendKind::Poll,
+            }
+        }
+
+        #[cfg(target_os = "linux")]
+        fn epoll_op(
+            epfd: RawFd,
+            op: c_int,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut flags = 0u32;
+            if readable {
+                flags |= epoll_consts::EPOLLIN;
+            }
+            if writable {
+                flags |= epoll_consts::EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events: flags,
+                data: key as u64,
+            };
+            // SAFETY: `ev` is a valid EpollEvent for the duration of the
+            // call (ignored by EPOLL_CTL_DEL).
+            if unsafe { epoll_ctl(epfd, op, fd, &mut ev) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, readable: bool, writable: bool) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => Self::epoll_op(
+                    *epfd,
+                    epoll_consts::EPOLL_CTL_ADD,
+                    fd,
+                    key,
+                    readable,
+                    writable,
+                ),
+                Backend::Poll { interest } => {
+                    interest
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(fd, (key, readable, writable));
+                    Ok(())
+                }
+            }
+        }
+
+        pub fn modify(
+            &self,
+            fd: RawFd,
+            key: usize,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => Self::epoll_op(
+                    *epfd,
+                    epoll_consts::EPOLL_CTL_MOD,
+                    fd,
+                    key,
+                    readable,
+                    writable,
+                ),
+                Backend::Poll { interest } => {
+                    interest
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(fd, (key, readable, writable));
+                    Ok(())
+                }
+            }
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    Self::epoll_op(*epfd, epoll_consts::EPOLL_CTL_DEL, fd, 0, false, false)
+                }
+                Backend::Poll { interest } => {
+                    interest
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .remove(&fd);
+                    Ok(())
+                }
+            }
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                // Round up so a 1ns timeout still sleeps ~1ms instead of
+                // spinning.
+                Some(d) => d.as_millis().clamp(1, c_int::MAX as u128) as c_int,
+            };
+            match self {
+                #[cfg(target_os = "linux")]
+                Backend::Epoll { epfd } => {
+                    let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+                    let n = loop {
+                        // SAFETY: `events` is a valid array of MAX_EVENTS
+                        // entries; the kernel fills at most that many.
+                        let n = unsafe {
+                            epoll_wait(*epfd, events.as_mut_ptr(), MAX_EVENTS as c_int, timeout_ms)
+                        };
+                        if n >= 0 {
+                            break n as usize;
+                        }
+                        let err = io::Error::last_os_error();
+                        if err.kind() != io::ErrorKind::Interrupted {
+                            return Err(err);
+                        }
+                    };
+                    for ev in events.iter().take(n) {
+                        // Copy out of the (possibly packed) struct before
+                        // touching the fields.
+                        let flags = { ev.events };
+                        let data = { ev.data };
+                        out.push(Event {
+                            key: data as usize,
+                            readable: flags
+                                & (epoll_consts::EPOLLIN
+                                    | epoll_consts::EPOLLERR
+                                    | epoll_consts::EPOLLHUP)
+                                != 0,
+                            writable: flags & (epoll_consts::EPOLLOUT | epoll_consts::EPOLLERR)
+                                != 0,
+                        });
+                    }
+                    Ok(())
+                }
+                Backend::Poll { interest } => {
+                    let (mut fds, keys): (Vec<PollFd>, Vec<(usize, bool, bool)>) = {
+                        let map = interest.lock().unwrap_or_else(|p| p.into_inner());
+                        map.iter()
+                            .map(|(&fd, &(key, readable, writable))| {
+                                let mut events = 0i16;
+                                if readable {
+                                    events |= POLLIN;
+                                }
+                                if writable {
+                                    events |= POLLOUT;
+                                }
+                                (
+                                    PollFd {
+                                        fd,
+                                        events,
+                                        revents: 0,
+                                    },
+                                    (key, readable, writable),
+                                )
+                            })
+                            .unzip()
+                    };
+                    let n = loop {
+                        // SAFETY: `fds` is a valid array of fds.len()
+                        // pollfd entries for the duration of the call.
+                        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+                        if n >= 0 {
+                            break n as usize;
+                        }
+                        let err = io::Error::last_os_error();
+                        if err.kind() != io::ErrorKind::Interrupted {
+                            return Err(err);
+                        }
+                    };
+                    if n == 0 {
+                        return Ok(());
+                    }
+                    for (pfd, (key, ..)) in fds.iter().zip(keys) {
+                        let r = pfd.revents;
+                        if r == 0 {
+                            continue;
+                        }
+                        out.push(Event {
+                            key,
+                            readable: r & (POLLIN | POLLERR | POLLHUP) != 0,
+                            writable: r & (POLLOUT | POLLERR) != 0,
+                        });
+                        if out.len() == MAX_EVENTS {
+                            break;
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            #[cfg(target_os = "linux")]
+            if let Backend::Epoll { epfd } = self {
+                close_fd(*epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    //! Non-unix stub: every constructor reports `Unsupported`, letting
+    //! callers fall back to the threaded transport.
+    use std::io;
+    use std::time::Duration;
+
+    use super::{BackendKind, Event, RawFd};
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "polling stand-in supports unix only",
+        ))
+    }
+
+    #[derive(Debug)]
+    pub enum Backend {}
+
+    impl Backend {
+        pub fn epoll() -> io::Result<Backend> {
+            unsupported()
+        }
+        pub fn poll() -> io::Result<Backend> {
+            unsupported()
+        }
+        pub fn kind(&self) -> BackendKind {
+            match *self {}
+        }
+        pub fn add(&self, _: RawFd, _: usize, _: bool, _: bool) -> io::Result<()> {
+            match *self {}
+        }
+        pub fn modify(&self, _: RawFd, _: usize, _: bool, _: bool) -> io::Result<()> {
+            match *self {}
+        }
+        pub fn delete(&self, _: RawFd) -> io::Result<()> {
+            match *self {}
+        }
+        pub fn wait(&self, _: &mut Vec<Event>, _: Option<Duration>) -> io::Result<()> {
+            match *self {}
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Pipe {}
+
+    impl Pipe {
+        pub fn new() -> io::Result<Pipe> {
+            unsupported()
+        }
+        pub fn read_fd(&self) -> RawFd {
+            -1
+        }
+        pub fn write_byte(&self) {}
+        pub fn drain(&self) {}
+    }
+
+    pub fn fd_limit() -> io::Result<(u64, u64)> {
+        unsupported()
+    }
+
+    pub fn raise_fd_limit() -> io::Result<u64> {
+        unsupported()
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn backends() -> Vec<Poller> {
+        let mut v = vec![Poller::with_backend(BackendKind::Poll).unwrap()];
+        if let Ok(p) = Poller::with_backend(BackendKind::Epoll) {
+            v.push(p);
+        }
+        v
+    }
+
+    #[test]
+    fn default_backend_is_epoll_on_linux() {
+        let p = Poller::new().unwrap();
+        if cfg!(target_os = "linux") {
+            assert_eq!(p.backend(), BackendKind::Epoll);
+            assert_eq!(p.backend().name(), "epoll");
+        }
+    }
+
+    #[test]
+    fn socket_readability_is_reported() {
+        for poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            poller.add(server.as_raw_fd(), 7, true, false).unwrap();
+
+            let mut events = Events::new();
+            // Nothing to read yet: timeout.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{:?}", poller.backend());
+
+            client.write_all(b"ping").unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert_eq!(n, 1, "{:?}", poller.backend());
+            let ev = events.iter().next().unwrap();
+            assert_eq!(ev.key, 7);
+            assert!(ev.readable);
+            poller.delete(server.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn writable_interest_and_modify() {
+        for poller in backends() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let (server, _) = listener.accept().unwrap();
+            server.set_nonblocking(true).unwrap();
+            // Read-only first: an idle socket reports nothing.
+            poller.add(server.as_raw_fd(), 3, true, false).unwrap();
+            let mut events = Events::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0);
+            // Add writable interest: an empty send buffer is writable.
+            poller.modify(server.as_raw_fd(), 3, true, true).unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert_eq!(n, 1);
+            assert!(events.iter().next().unwrap().writable);
+            poller.delete(server.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_wait_from_another_thread() {
+        for poller in backends() {
+            let waker = Waker::new().unwrap();
+            poller.add(waker.fd(), 0, true, false).unwrap();
+            let w2 = waker.clone();
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                w2.wake();
+            });
+            let mut events = Events::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{:?}", poller.backend());
+            assert_eq!(events.iter().next().unwrap().key, 0);
+            waker.drain();
+            // Drained: the next wait times out instead of spinning.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0);
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fd_limits_are_sane_and_raisable() {
+        let (soft, hard) = fd_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        let new_soft = raise_fd_limit().unwrap();
+        assert_eq!(new_soft, hard);
+        assert_eq!(fd_limit().unwrap().0, hard);
+    }
+}
