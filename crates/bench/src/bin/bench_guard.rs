@@ -1,0 +1,114 @@
+//! `bench_guard` — diffs a fresh `server_throughput` artifact against
+//! the committed baseline and flags p99 latency regressions.
+//!
+//! The CI bench-smoke job runs the smoke benchmark into a scratch file
+//! and then invokes this guard against the `BENCH_server_throughput.json`
+//! checked into the repository root. Every numeric field whose name
+//! contains `p99` (the driver-observed `p99_us`/`p99_ms` *and* the
+//! telemetry-derived `server_p99_us` fields) is compared; a value more
+//! than `--factor` (default 2) times its baseline prints a GitHub
+//! `::warning::` annotation.
+//!
+//! The guard is deliberately **loud, not a gate**: it always exits 0.
+//! Smoke runs on shared CI runners are noisy enough that a hard gate
+//! would flake, but an annotation on every PR makes a real regression
+//! impossible to miss.
+//!
+//! Run: `cargo run -p communix-bench --release --bin bench_guard --
+//! --current fresh.json [--baseline BENCH_server_throughput.json]
+//! [--factor 2.0]`
+
+use communix_bench::arg_value;
+use communix_telemetry::json::flatten_numbers;
+
+/// A baseline/current pair for one dotted p99 path.
+struct P99Diff {
+    path: String,
+    baseline: f64,
+    current: Option<f64>,
+}
+
+/// Pairs every p99-carrying path in `baseline` with its value in
+/// `current` (`None` when the fresh artifact dropped the field).
+fn diff_p99(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<P99Diff> {
+    baseline
+        .iter()
+        .filter(|(path, _)| {
+            path.rsplit('.')
+                .next()
+                .is_some_and(|leaf| leaf.contains("p99"))
+        })
+        .map(|(path, base)| P99Diff {
+            path: path.clone(),
+            baseline: *base,
+            current: current.iter().find(|(p, _)| p == path).map(|(_, v)| *v),
+        })
+        .collect()
+}
+
+fn main() {
+    let current_path = arg_value("--current").expect("--current <fresh artifact path>");
+    let baseline_path =
+        arg_value("--baseline").unwrap_or_else(|| "BENCH_server_throughput.json".into());
+    let factor: f64 = arg_value("--factor")
+        .map(|v| v.parse().expect("--factor must be a number"))
+        .unwrap_or(2.0);
+
+    let read = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        flatten_numbers(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"))
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+
+    println!("bench_guard: {current_path} vs baseline {baseline_path} (threshold {factor}×)");
+    let diffs = diff_p99(&baseline, &current);
+    assert!(
+        !diffs.is_empty(),
+        "baseline {baseline_path} carries no p99 fields — wrong file?"
+    );
+
+    let mut regressions = 0usize;
+    for d in &diffs {
+        let Some(cur) = d.current else {
+            println!(
+                "::warning::bench_guard: {} present in baseline but missing from {current_path}",
+                d.path
+            );
+            regressions += 1;
+            continue;
+        };
+        let ratio = if d.baseline > 0.0 {
+            cur / d.baseline
+        } else {
+            0.0
+        };
+        let status = if ratio > factor {
+            regressions += 1;
+            println!(
+                "::warning::bench_guard: p99 regression in {}: {:.1} → {:.1} ({ratio:.2}× > {factor}×)",
+                d.path, d.baseline, cur
+            );
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {status:<9} {:<70} {:>10.1} -> {:>10.1}  ({ratio:.2}x)",
+            d.path, d.baseline, cur
+        );
+    }
+
+    if regressions == 0 {
+        println!(
+            "bench_guard: all {} p99 fields within {factor}× of baseline",
+            diffs.len()
+        );
+    } else {
+        println!(
+            "bench_guard: {regressions} of {} p99 fields regressed past {factor}× — see warnings \
+             (annotation only, not a gate)",
+            diffs.len()
+        );
+    }
+}

@@ -30,10 +30,23 @@ use communix_workloads::SigGen;
 const SERVER: NodeId = NodeId(0);
 const ROUNDS: usize = 10;
 
+/// Server-side request latency `(p50, p99)` in µs from the server's
+/// own telemetry — the `server.latency.*` histograms merged across
+/// opcodes. Unlike the client-observed rate, this excludes the wire,
+/// so it shows the request path staying cheap even as the NIC (or
+/// socket fan-out) becomes the bottleneck.
+fn server_latency_us(server: &CommunixServer) -> (f64, f64) {
+    let merged = server
+        .telemetry_snapshot()
+        .merged_histogram("server.latency.");
+    (merged.p50() / 1e3, merged.p99() / 1e3)
+}
+
 /// One simulated sweep point: `clients` nodes each run `ROUNDS`
 /// ADD+GET(0) sequences. Returns the mean per-client reply rate
-/// (replies/second) and the total bytes the server NIC pushed.
-fn simnet_point(clients: usize) -> (f64, u64) {
+/// (replies/second), the total bytes the server NIC pushed, and the
+/// server-side `(p50, p99)` request latency in µs.
+fn simnet_point(clients: usize) -> (f64, u64, (f64, f64)) {
     let mut net = SimNet::new(SimDuration::from_micros(500));
     net.set_nic(
         SERVER,
@@ -119,11 +132,16 @@ fn simnet_point(clients: usize) -> (f64, u64) {
         })
         .sum::<f64>()
         / clients as f64;
-    (mean_rate, net.sent_bytes(SERVER))
+    (
+        mean_rate,
+        net.sent_bytes(SERVER),
+        server_latency_us(&server),
+    )
 }
 
-/// One real-socket sweep point on localhost.
-fn tcp_point(clients: usize) -> f64 {
+/// One real-socket sweep point on localhost. Returns the mean
+/// per-client reply rate and the server-side `(p50, p99)` latency.
+fn tcp_point(clients: usize) -> (f64, (f64, f64)) {
     let server = Arc::new(CommunixServer::new(
         ServerConfig::default(),
         Arc::new(SystemClock::new()),
@@ -159,7 +177,10 @@ fn tcp_point(clients: usize) -> f64 {
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    rates.iter().sum::<f64>() / rates.len() as f64
+    (
+        rates.iter().sum::<f64>() / rates.len() as f64,
+        server_latency_us(&server),
+    )
 }
 
 fn main() {
@@ -176,16 +197,20 @@ fn main() {
         "replies/s/client",
         "aggregate",
         "server tx",
+        "srv p50 µs",
+        "srv p99 µs",
     ]);
     let mut first = None;
     let mut last = None;
     for &n in &points {
-        let (rate, tx) = simnet_point(n);
+        let (rate, tx, (p50, p99)) = simnet_point(n);
         row(&[
             &format!("{n}"),
             &fmt_rate(rate),
             &fmt_rate(rate * n as f64),
             &format!("{:.1} MB", tx as f64 / 1e6),
+            &format!("{p50:.1}"),
+            &format!("{p99:.1}"),
         ]);
         first.get_or_insert(rate);
         last = Some(rate);
@@ -210,10 +235,20 @@ fn main() {
 
     if arg_flag("--tcp") {
         println!("\nreal TCP on localhost (loopback bandwidth ≫ 1 Gbit/s):");
-        row(&["client threads", "replies/s/client"]);
+        row(&[
+            "client threads",
+            "replies/s/client",
+            "srv p50 µs",
+            "srv p99 µs",
+        ]);
         for &n in &points {
-            let rate = tcp_point(n);
-            row(&[&format!("{n}"), &fmt_rate(rate)]);
+            let (rate, (p50, p99)) = tcp_point(n);
+            row(&[
+                &format!("{n}"),
+                &fmt_rate(rate),
+                &format!("{p50:.1}"),
+                &format!("{p99:.1}"),
+            ]);
         }
     } else {
         println!("\n(pass --tcp to also run the real-socket sweep on localhost)");

@@ -34,7 +34,16 @@
 //!
 //! Emits `BENCH_server_throughput.json` (override with `--out`) with
 //! ops/sec and p99 latency per scenario, plus the poller backend and fd
-//! limits behind the sweep — the artifact the CI bench job uploads.
+//! limits behind the sweep — the artifact the CI bench job uploads and
+//! diffs against the committed baseline with `bench_guard`.
+//!
+//! Latency is reported from **two vantage points**: the driver's
+//! closed-loop stopwatch (`p99_us`, includes the wire) and the server's
+//! own telemetry histograms (`server_p50_us`/`server_p90_us`/
+//! `server_p99_us`, the `server.latency.*` rollup — pure request-path
+//! time as the server saw it). The seed baseline predates telemetry and
+//! reports only the driver's view. In `--smoke` mode the final sweep
+//! point's full telemetry snapshot is printed to stderr on completion.
 //!
 //! Run: `cargo run -p communix-bench --release --bin server_throughput
 //! [--smoke] [--out path]`
@@ -55,12 +64,24 @@ use communix_workloads::SigGen;
 const THREADS: usize = 8;
 const SERVER: NodeId = NodeId(0);
 
+/// Server-side request latency `(p50, p90, p99)` in µs, from the
+/// `server.latency.*` histograms merged across opcodes.
+fn server_latency_us(server: &CommunixServer) -> (f64, f64, f64) {
+    let merged = server
+        .telemetry_snapshot()
+        .merged_histogram("server.latency.");
+    (merged.p50() / 1e3, merged.p90() / 1e3, merged.p99() / 1e3)
+}
+
 /// The request surface the mixed-load driver needs from either server.
 trait LoadTarget: Send + Sync {
     fn authority(&self) -> &IdAuthority;
     fn add(&self, request: Request) -> Reply;
     fn scan0(&self) -> (usize, usize);
     fn stored(&self) -> usize;
+    /// Server-side `(p50, p90, p99)` request latency in µs, if the
+    /// target has telemetry (the seed baseline predates it).
+    fn latency_us(&self) -> Option<(f64, f64, f64)>;
 }
 
 impl LoadTarget for CommunixServer {
@@ -75,6 +96,9 @@ impl LoadTarget for CommunixServer {
     }
     fn stored(&self) -> usize {
         self.db().len()
+    }
+    fn latency_us(&self) -> Option<(f64, f64, f64)> {
+        Some(server_latency_us(self))
     }
 }
 
@@ -216,6 +240,9 @@ impl LoadTarget for seed::SeedServer {
     fn stored(&self) -> usize {
         self.db().len()
     }
+    fn latency_us(&self) -> Option<(f64, f64, f64)> {
+        None
+    }
 }
 
 /// Duplicate re-sends per iteration: the dedup fast path is cheap and
@@ -226,6 +253,8 @@ const DUPS_PER_ITER: usize = 8;
 struct MixedLoadResult {
     ops_per_sec: f64,
     p99_us: f64,
+    /// The server's own view of the same run, when it has telemetry.
+    server_lat_us: Option<(f64, f64, f64)>,
 }
 
 /// One `concurrent_mixed_load` run: `THREADS` threads, each performing
@@ -305,6 +334,7 @@ fn concurrent_mixed_load<S: LoadTarget>(server: Arc<S>, iters: usize) -> MixedLo
     MixedLoadResult {
         ops_per_sec: all.len() as f64 / elapsed.as_secs_f64(),
         p99_us: percentile(&all, 99.0),
+        server_lat_us: server.latency_us(),
     }
 }
 
@@ -332,6 +362,7 @@ struct SimnetResult {
     ops_per_sec: f64,
     p99_ms: f64,
     server_tx_bytes: u64,
+    server_lat_us: (f64, f64, f64),
 }
 
 /// M simulated clients each run `rounds` of batched sync against the
@@ -465,6 +496,7 @@ fn simnet_batched_sync(clients: usize, rounds: usize, batch: usize) -> SimnetRes
         ops_per_sec: rtts_ms.len() as f64 / makespan.as_secs_f64(),
         p99_ms: percentile(&rtts_ms, 99.0),
         server_tx_bytes: net.sent_bytes(SERVER),
+        server_lat_us: server_latency_us(&server),
     }
 }
 
@@ -487,7 +519,11 @@ struct SweepPoint {
     connections: usize,
     ops_per_sec: f64,
     p99_us: f64,
+    server_lat_us: (f64, f64, f64),
     peak_connections: usize,
+    /// Full telemetry text render, captured before shutdown — the
+    /// `--smoke` completion report prints the last one to stderr.
+    snapshot_text: String,
 }
 
 /// Connect with exponential backoff: a burst of simultaneous dials from
@@ -560,9 +596,9 @@ fn connections_point(event: bool, conns: usize, secs: f64) -> SweepPoint {
         ..TcpServerConfig::default()
     };
     let mut tcp = if event {
-        communix_server::serve_with("127.0.0.1:0", server, cfg)
+        communix_server::serve_with("127.0.0.1:0", server.clone(), cfg)
     } else {
-        communix_server::serve_threaded("127.0.0.1:0", server, cfg)
+        communix_server::serve_threaded("127.0.0.1:0", server.clone(), cfg)
     }
     .expect("bind sweep server");
     let transport = tcp.transport().to_string();
@@ -634,13 +670,21 @@ fn connections_point(event: bool, conns: usize, secs: f64) -> SweepPoint {
         let _ = child.wait();
     }
     let peak = tcp.stats().peak_connections;
+    // The server's own view of the drive window: request-path latency
+    // from its telemetry histograms, plus the transport gauges the
+    // shared registry carries. Captured before shutdown tears the
+    // connections down.
+    let server_lat_us = server_latency_us(&server);
+    let snapshot_text = server.telemetry_snapshot().render_text();
     tcp.shutdown();
     SweepPoint {
         transport,
         connections: conns,
         ops_per_sec,
         p99_us,
+        server_lat_us,
         peak_connections: peak,
+        snapshot_text,
     }
 }
 
@@ -675,7 +719,7 @@ fn main() {
         "\nconcurrent_mixed_load ({THREADS} threads × {iters} iters of ADD + GET(0) scan + \
          {DUPS_PER_ITER} dup ADDs, best of {reps}):"
     );
-    row(&["server", "ops/s", "p99 µs"]);
+    row(&["server", "ops/s", "p99 µs", "srv p99 µs"]);
     let baseline = best_mixed_load(
         || Arc::new(seed::SeedServer::new(Arc::new(SystemClock::new()))),
         iters,
@@ -685,6 +729,7 @@ fn main() {
         "seed (single-lock)",
         &fmt_rate(baseline.ops_per_sec),
         &format!("{:.1}", baseline.p99_us),
+        "-",
     ]);
     let sharded = best_mixed_load(
         || {
@@ -700,6 +745,9 @@ fn main() {
         &format!("sharded ({DEFAULT_SHARDS}) + fast path"),
         &fmt_rate(sharded.ops_per_sec),
         &format!("{:.1}", sharded.p99_us),
+        &sharded
+            .server_lat_us
+            .map_or("-".into(), |(_, _, p99)| format!("{p99:.1}")),
     ]);
     let speedup = sharded.ops_per_sec / baseline.ops_per_sec;
     println!(
@@ -713,11 +761,12 @@ fn main() {
 
     println!("\nsimnet_batched_sync ({clients} clients × {rounds} rounds, ADD_BATCH of {batch}):");
     let sim = simnet_batched_sync(clients, rounds, batch);
-    row(&["requests/s", "p99 ms", "server tx"]);
+    row(&["requests/s", "p99 ms", "server tx", "srv p99 µs"]);
     row(&[
         &fmt_rate(sim.ops_per_sec),
         &format!("{:.2}", sim.p99_ms),
         &format!("{:.1} MB", sim.server_tx_bytes as f64 / 1e6),
+        &format!("{:.1}", sim.server_lat_us.2),
     ]);
 
     // The C10K sweep. Raise this process's fd soft limit first (CI
@@ -742,12 +791,20 @@ fn main() {
         "\nconnections_vs_throughput ({drive_secs}s closed-loop ISSUE_ID per point, \
          drivers in child processes, fd limit {fd_soft}/{fd_hard}):"
     );
-    row(&["transport", "conns", "ops/s", "p99 µs", "peak conns"]);
+    row(&[
+        "transport",
+        "conns",
+        "ops/s",
+        "p99 µs",
+        "srv p99 µs",
+        "peak conns",
+    ]);
     let mut sweep_json = JsonObj::new()
         .num("drive_secs", drive_secs)
         .int("fd_soft_limit", fd_soft)
         .int("fd_hard_limit", fd_hard);
     let mut backend = "unavailable".to_string();
+    let mut last_snapshot = None;
     for (event, conns) in points {
         let label = if event { "event" } else { "threaded" };
         if conns as u64 + FD_MARGIN > fd_soft {
@@ -763,6 +820,7 @@ fn main() {
             &p.connections.to_string(),
             &fmt_rate(p.ops_per_sec),
             &format!("{:.1}", p.p99_us),
+            &format!("{:.1}", p.server_lat_us.2),
             &p.peak_connections.to_string(),
         ]);
         sweep_json = sweep_json.obj(
@@ -772,8 +830,12 @@ fn main() {
                 .int("connections", p.connections as u64)
                 .num("ops_per_sec", p.ops_per_sec)
                 .num("p99_us", p.p99_us)
+                .num("server_p50_us", p.server_lat_us.0)
+                .num("server_p90_us", p.server_lat_us.1)
+                .num("server_p99_us", p.server_lat_us.2)
                 .int("peak_connections", p.peak_connections as u64),
         );
+        last_snapshot = Some(p.snapshot_text);
     }
 
     let json = JsonObj::new()
@@ -790,13 +852,16 @@ fn main() {
                         .num("ops_per_sec", baseline.ops_per_sec)
                         .num("p99_us", baseline.p99_us),
                 )
-                .obj(
-                    "sharded",
+                .obj("sharded", {
+                    let (p50, p90, p99) = sharded.server_lat_us.expect("sharded has telemetry");
                     JsonObj::new()
                         .int("shards", DEFAULT_SHARDS as u64)
                         .num("ops_per_sec", sharded.ops_per_sec)
-                        .num("p99_us", sharded.p99_us),
-                )
+                        .num("p99_us", sharded.p99_us)
+                        .num("server_p50_us", p50)
+                        .num("server_p90_us", p90)
+                        .num("server_p99_us", p99)
+                })
                 .num("speedup", speedup),
         )
         .obj(
@@ -807,6 +872,9 @@ fn main() {
                 .int("batch", batch as u64)
                 .num("ops_per_sec", sim.ops_per_sec)
                 .num("p99_ms", sim.p99_ms)
+                .num("server_p50_us", sim.server_lat_us.0)
+                .num("server_p90_us", sim.server_lat_us.1)
+                .num("server_p99_us", sim.server_lat_us.2)
                 .int("server_tx_bytes", sim.server_tx_bytes),
         )
         .obj(
@@ -816,4 +884,14 @@ fn main() {
         .render();
     std::fs::write(&out, format!("{json}\n")).expect("write bench artifact");
     println!("\nwrote {out}");
+
+    // Smoke runs double as the CI observability check: dump the final
+    // sweep point's full telemetry snapshot to stderr so the log shows
+    // what a live server would answer to a STATS request.
+    if smoke {
+        if let Some(text) = last_snapshot {
+            eprintln!("\ntelemetry snapshot (final sweep point, server's own view):");
+            eprint!("{text}");
+        }
+    }
 }

@@ -11,5 +11,6 @@ mod sync;
 pub use daemon::{ClientDaemon, DaemonStats};
 pub use repo::LocalRepository;
 pub use sync::{
-    obtain_id, sync_delta, sync_once, upload_batch, upload_signature, Connector, SyncError,
+    fetch_stats, obtain_id, sync_delta, sync_once, upload_batch, upload_signature, Connector,
+    SyncError,
 };

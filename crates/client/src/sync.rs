@@ -246,6 +246,27 @@ pub fn obtain_id(connector: &mut dyn Connector, user: u64) -> Result<EncryptedId
     }
 }
 
+/// Asks the server for its telemetry snapshot (`STATS`), returning the
+/// snapshot as a JSON string — counters, connection gauges, and
+/// per-opcode latency histograms, as rendered by the server's registry.
+///
+/// # Errors
+///
+/// Returns [`SyncError`] on transport or protocol failures (including
+/// pre-`STATS` servers that answer with an error reply).
+pub fn fetch_stats(connector: &mut dyn Connector) -> Result<String, SyncError> {
+    let reply = connector
+        .call(Request::Stats)
+        .map_err(SyncError::Transport)?;
+    match reply {
+        Reply::Stats { json } => Ok(json),
+        Reply::Error { message } => Err(SyncError::Protocol(message)),
+        other => Err(SyncError::Protocol(format!(
+            "unexpected reply to STATS: {other:?}"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,5 +521,27 @@ mod tests {
     fn obtain_id_roundtrip() {
         let mut conn = Script(vec![Reply::Id { id: [3u8; 16] }]);
         assert_eq!(obtain_id(&mut conn, 7).unwrap(), [3u8; 16]);
+    }
+
+    #[test]
+    fn fetch_stats_returns_the_snapshot_json() {
+        let mut asked = false;
+        let mut conn = |req: Request| -> Result<Reply, String> {
+            asked = matches!(req, Request::Stats);
+            Ok(Reply::Stats {
+                json: r#"{"counters":{}}"#.into(),
+            })
+        };
+        assert_eq!(fetch_stats(&mut conn).unwrap(), r#"{"counters":{}}"#);
+        assert!(asked, "helper must send a STATS request");
+    }
+
+    #[test]
+    fn fetch_stats_rejects_wrong_reply() {
+        let mut conn = Script(vec![Reply::Id { id: [0u8; 16] }]);
+        assert!(matches!(
+            fetch_stats(&mut conn),
+            Err(SyncError::Protocol(_))
+        ));
     }
 }

@@ -21,6 +21,11 @@
 //! The original single-signature messages are unchanged; old clients keep
 //! working against a batching server and vice versa.
 //!
+//! A third addition makes a live server observable: `STATS` (tag 0x06)
+//! asks for the server's telemetry snapshot, answered by a reply (tag
+//! 0x86) carrying the snapshot as a JSON string — counters, connection
+//! gauges with peaks, and per-opcode latency histograms.
+//!
 //! Framing: every message is a 4-byte big-endian length followed by the
 //! payload. Payloads start with a tag byte.
 
@@ -72,6 +77,9 @@ pub enum Request {
         /// to the server's window.
         max: u32,
     },
+    /// Ask the server for its telemetry snapshot. Answered by
+    /// [`Reply::Stats`] carrying the snapshot as JSON.
+    Stats,
 }
 
 /// One item of an [`Request::AddBatch`].
@@ -134,6 +142,13 @@ pub enum Reply {
         /// Signature texts (at most the effective window size).
         sigs: Vec<String>,
     },
+    /// The server's telemetry snapshot ([`Request::Stats`]).
+    Stats {
+        /// The snapshot rendered as JSON (counters, gauges with peaks,
+        /// and latency histograms with p50/p90/p99/max in µs) — the
+        /// output of the telemetry crate's JSON exporter.
+        json: String,
+    },
 }
 
 const TAG_ADD: u8 = 0x01;
@@ -141,11 +156,13 @@ const TAG_GET: u8 = 0x02;
 const TAG_ISSUE_ID: u8 = 0x03;
 const TAG_ADD_BATCH: u8 = 0x04;
 const TAG_GET_DELTA: u8 = 0x05;
+const TAG_STATS: u8 = 0x06;
 const TAG_ADD_ACK: u8 = 0x81;
 const TAG_SIGS: u8 = 0x82;
 const TAG_ID: u8 = 0x83;
 const TAG_BATCH_ACK: u8 = 0x84;
 const TAG_DELTA: u8 = 0x85;
+const TAG_STATS_REPLY: u8 = 0x86;
 const TAG_ERROR: u8 = 0xFF;
 
 /// Codec error.
@@ -192,6 +209,19 @@ fn get_string(buf: &mut Bytes) -> Result<String, CodecError> {
 }
 
 impl Request {
+    /// Short stable name of this request's opcode, used to key
+    /// per-opcode telemetry series (`server.latency.<opcode>`).
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            Request::Add { .. } => "add",
+            Request::Get { .. } => "get",
+            Request::IssueId { .. } => "issue_id",
+            Request::AddBatch { .. } => "add_batch",
+            Request::GetDelta { .. } => "get_delta",
+            Request::Stats => "stats",
+        }
+    }
+
     /// Serializes the request payload (no frame header).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
@@ -221,6 +251,9 @@ impl Request {
                 buf.put_u8(TAG_GET_DELTA);
                 buf.put_u64(*from);
                 buf.put_u32(*max);
+            }
+            Request::Stats => {
+                buf.put_u8(TAG_STATS);
             }
         }
         buf.freeze()
@@ -290,6 +323,7 @@ impl Request {
                     max: payload.get_u32(),
                 })
             }
+            TAG_STATS => Ok(Request::Stats),
             t => Err(CodecError::BadTag(t)),
         }
     }
@@ -337,6 +371,10 @@ impl Reply {
                 for s in sigs {
                     put_string(&mut buf, s);
                 }
+            }
+            Reply::Stats { json } => {
+                buf.put_u8(TAG_STATS_REPLY);
+                put_string(&mut buf, json);
             }
         }
         buf.freeze()
@@ -421,6 +459,9 @@ impl Reply {
                 }
                 Ok(Reply::Delta { from, total, sigs })
             }
+            TAG_STATS_REPLY => Ok(Reply::Stats {
+                json: get_string(&mut payload)?,
+            }),
             t => Err(CodecError::BadTag(t)),
         }
     }
@@ -524,6 +565,33 @@ mod tests {
             total: 9,
             sigs: Vec::new(),
         });
+    }
+
+    #[test]
+    fn stats_roundtrips() {
+        roundtrip_req(Request::Stats);
+        roundtrip_reply(Reply::Stats {
+            json: r#"{"counters":{"server.adds":3}}"#.into(),
+        });
+        roundtrip_reply(Reply::Stats {
+            json: String::new(),
+        });
+    }
+
+    #[test]
+    fn truncated_stats_reply_rejected() {
+        // STATS_REPLY announcing a longer snapshot than it carries.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x86);
+        buf.put_u32(10);
+        buf.put_slice(b"short");
+        assert_eq!(Reply::decode(buf.freeze()), Err(CodecError::Truncated));
+        // A bare STATS request carries no payload; like every other
+        // message, trailing bytes after the last field are ignored.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x06);
+        buf.put_u8(0xAA);
+        assert_eq!(Request::decode(buf.freeze()), Ok(Request::Stats));
     }
 
     #[test]

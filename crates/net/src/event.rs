@@ -39,7 +39,7 @@ use bytes::{Buf, BytesMut};
 use polling::{BackendKind, Events, Poller, Waker};
 
 use crate::codec::{deframe, frame, Reply, Request};
-use crate::tcp::{Handler, SharedStats, TcpServerConfig};
+use crate::tcp::{CloseCause, Handler, SharedStats, TcpServerConfig};
 
 /// Reserved poller key for the listening socket.
 const KEY_LISTENER: usize = 0;
@@ -124,6 +124,8 @@ pub(crate) fn spawn(
 /// One connection's state machine.
 struct Conn {
     stream: TcpStream,
+    /// Trace-event id assigned at accept time.
+    id: u64,
     /// Bytes received but not yet assembled into a complete frame.
     inbuf: BytesMut,
     /// Encoded reply frames not yet accepted by the kernel.
@@ -133,17 +135,22 @@ struct Conn {
     /// Currently registered poller interest.
     want_read: bool,
     want_write: bool,
+    /// Whether this connection is currently above the write high-water
+    /// mark (lets the crossing emit exactly one trace event).
+    backpressured: bool,
 }
 
 impl Conn {
-    fn new(stream: TcpStream, now: Instant) -> Conn {
+    fn new(stream: TcpStream, id: u64, now: Instant) -> Conn {
         Conn {
             stream,
+            id,
             inbuf: BytesMut::with_capacity(8 * 1024),
             out: BytesMut::new(),
             last_activity: now,
             want_read: true,
             want_write: false,
+            backpressured: false,
         }
     }
 }
@@ -196,7 +203,7 @@ impl EventLoop {
         // Drop every connection (sends RST/FIN); nothing to wait for.
         for (_, conn) in self.conns.drain() {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
-            self.stats.disconnected();
+            self.stats.closed(conn.id, CloseCause::Shutdown);
         }
     }
 
@@ -218,8 +225,8 @@ impl EventLoop {
                     {
                         continue;
                     }
-                    self.stats.connected();
-                    self.conns.insert(key, Conn::new(stream, now));
+                    let id = self.stats.connected();
+                    self.conns.insert(key, Conn::new(stream, id, now));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -235,10 +242,12 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&key) else {
             return; // already closed this iteration
         };
-        let keep = drive(&self.handler, conn, readable, writable, now)
-            && sync_interest(&self.poller, key, conn);
-        if !keep {
-            self.close(key);
+        let verdict = match drive(&self.handler, &self.stats, conn, readable, writable, now) {
+            Ok(()) if !sync_interest(&self.poller, key, conn) => Err(CloseCause::Io),
+            v => v,
+        };
+        if let Err(cause) = verdict {
+            self.close(key, cause);
         }
     }
 
@@ -250,21 +259,29 @@ impl EventLoop {
             .map(|(&k, _)| k)
             .collect();
         for key in expired {
-            self.close(key);
+            self.close(key, CloseCause::Idle);
         }
     }
 
-    fn close(&mut self, key: usize) {
+    fn close(&mut self, key: usize, cause: CloseCause) {
         if let Some(conn) = self.conns.remove(&key) {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
-            self.stats.disconnected();
+            self.stats.closed(conn.id, cause);
         }
     }
 }
 
-/// Runs reads, frame handling, and writes for one event. Returns `false`
-/// when the connection must be dropped (EOF, error, protocol violation).
-fn drive(handler: &Handler, conn: &mut Conn, readable: bool, writable: bool, now: Instant) -> bool {
+/// Runs reads, frame handling, and writes for one event. Returns the
+/// [`CloseCause`] when the connection must be dropped (EOF, error,
+/// protocol violation).
+fn drive(
+    handler: &Handler,
+    stats: &SharedStats,
+    conn: &mut Conn,
+    readable: bool,
+    writable: bool,
+    now: Instant,
+) -> Result<(), CloseCause> {
     if readable {
         let mut chunk = [0u8; CHUNK];
         loop {
@@ -272,31 +289,42 @@ fn drive(handler: &Handler, conn: &mut Conn, readable: bool, writable: bool, now
                 break; // backpressure: drain before reading more
             }
             match conn.stream.read(&mut chunk) {
-                Ok(0) => return false, // peer closed
+                Ok(0) => return Err(CloseCause::Peer),
                 Ok(n) => {
                     conn.inbuf.extend_from_slice(&chunk[..n]);
                     conn.last_activity = now;
-                    if !process_frames(handler, conn) {
-                        return false;
-                    }
+                    process_frames(handler, stats, conn)?;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return false,
+                Err(_) => return Err(CloseCause::Io),
             }
         }
     }
     if (writable || !conn.out.is_empty()) && !flush(conn, now) {
-        return false;
+        return Err(CloseCause::Io);
     }
     // A flush may have drained below the high-water mark: resume
     // decoding frames that backpressure deferred.
-    process_frames(handler, conn) && flush(conn, now)
+    if conn.out.len() < HIGH_WATER {
+        conn.backpressured = false;
+    }
+    process_frames(handler, stats, conn)?;
+    if flush(conn, now) {
+        Ok(())
+    } else {
+        Err(CloseCause::Io)
+    }
 }
 
 /// Decodes and handles every complete frame in `inbuf`, subject to the
-/// write high-water mark. Returns `false` on a framing violation.
-fn process_frames(handler: &Handler, conn: &mut Conn) -> bool {
+/// write high-water mark. Fails with [`CloseCause::Framing`] on a
+/// framing violation.
+fn process_frames(
+    handler: &Handler,
+    stats: &SharedStats,
+    conn: &mut Conn,
+) -> Result<(), CloseCause> {
     while conn.out.len() < HIGH_WATER {
         match deframe(&mut conn.inbuf) {
             Ok(Some(payload)) => {
@@ -309,10 +337,16 @@ fn process_frames(handler: &Handler, conn: &mut Conn) -> bool {
                 conn.out.extend_from_slice(&frame(&reply.encode()));
             }
             Ok(None) => break,
-            Err(_) => return false, // oversized/absurd frame: drop
+            Err(_) => return Err(CloseCause::Framing), // oversized/absurd frame: drop
         }
     }
-    true
+    // Trace the high-water crossing once; the flag resets when a flush
+    // drains the queue back below the mark.
+    if conn.out.len() >= HIGH_WATER && !conn.backpressured {
+        conn.backpressured = true;
+        stats.backpressured(conn.id);
+    }
+    Ok(())
 }
 
 /// Writes queued replies until done or the kernel would block.

@@ -16,15 +16,28 @@
 //! [`TcpServerConfig::idle_timeout`] (slow-loris defense: a length
 //! prefix followed by a stall releases the connection's resources), and
 //! both count connections in [`TransportStats`].
+//!
+//! # Observability
+//!
+//! Each server records into a telemetry [`Registry`] — its own by
+//! default, or one passed in via [`TcpServerConfig::registry`] so
+//! transport metrics share a `STATS` snapshot with the request path:
+//! `transport.accepted` / `transport.connections` (gauge with peak) /
+//! `transport.evictions` / `transport.framing_errors` /
+//! `transport.backpressure_stalls`. Connection lifecycle events
+//! (accept, close, evict, backpressure, framing error) additionally
+//! land in a fixed-capacity ring-buffer [`Tracer`] — a flight recorder
+//! that never blocks the hot path and counts what it overwrites.
 
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
+use communix_telemetry::{Counter, EventKind, EvictReason, Gauge, Registry, Tracer};
 
 use crate::codec::{deframe, frame, CodecError, Reply, Request};
 
@@ -43,6 +56,10 @@ pub struct TcpServerConfig {
     /// Force the event transport onto the portable `poll(2)` backend
     /// even where epoll is available (tests and benchmark metadata).
     pub force_poll_backend: bool,
+    /// Telemetry registry the transport records into (`None` binds a
+    /// fresh private registry). Pass the server's registry so one
+    /// `STATS` snapshot covers both the transport and the request path.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for TcpServerConfig {
@@ -50,45 +67,121 @@ impl Default for TcpServerConfig {
         TcpServerConfig {
             idle_timeout: Some(Duration::from_secs(30)),
             force_poll_backend: false,
+            registry: None,
         }
     }
 }
 
-/// Connection counters, shared by both transports.
+/// Connection counters, shared by both transports — a view over the
+/// transport's telemetry registry.
+///
+/// `peak_connections` is a *monotone* high-water mark: it only ever
+/// grows, and a snapshot always satisfies `peak_connections >=
+/// current_connections`. `current_connections` itself can briefly
+/// exceed an externally configured connection limit while accepts race
+/// with disconnects (the accept loop counts a connection before the
+/// handler learns it exists); it settles once the race drains.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// Connections currently open.
     pub current_connections: usize,
-    /// Highest simultaneous connection count seen.
+    /// Highest simultaneous connection count seen (monotone; never
+    /// less than `current_connections` within one snapshot).
     pub peak_connections: usize,
     /// Connections accepted over the server's lifetime.
     pub accepted: u64,
 }
 
-/// Lock-free backing cells for [`TransportStats`].
-#[derive(Debug, Default)]
+/// Why a connection left the server. Maps one-to-one onto the trace
+/// event its close emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CloseCause {
+    /// The peer closed or reset the connection.
+    Peer,
+    /// A socket error ended the connection.
+    Io,
+    /// The peer violated framing (oversized/absurd frame).
+    Framing,
+    /// Evicted after [`TcpServerConfig::idle_timeout`] without progress.
+    Idle,
+    /// Dropped because the server is shutting down.
+    Shutdown,
+}
+
+/// Pre-resolved transport telemetry handles plus the event tracer,
+/// shared by the accept loop and every connection.
+#[derive(Debug)]
 pub(crate) struct SharedStats {
-    current: AtomicUsize,
-    peak: AtomicUsize,
-    accepted: AtomicU64,
+    connections: Arc<Gauge>,
+    accepted: Arc<Counter>,
+    evictions: Arc<Counter>,
+    framing_errors: Arc<Counter>,
+    backpressure_stalls: Arc<Counter>,
+    tracer: Arc<Tracer>,
+    next_conn: AtomicU64,
 }
 
 impl SharedStats {
-    pub(crate) fn connected(&self) {
-        self.accepted.fetch_add(1, Ordering::AcqRel);
-        let now = self.current.fetch_add(1, Ordering::AcqRel) + 1;
-        self.peak.fetch_max(now, Ordering::AcqRel);
+    pub(crate) fn resolve(registry: &Registry) -> SharedStats {
+        SharedStats {
+            connections: registry.gauge("transport.connections"),
+            accepted: registry.counter("transport.accepted"),
+            evictions: registry.counter("transport.evictions"),
+            framing_errors: registry.counter("transport.framing_errors"),
+            backpressure_stalls: registry.counter("transport.backpressure_stalls"),
+            tracer: Arc::new(Tracer::default()),
+            next_conn: AtomicU64::new(0),
+        }
     }
 
-    pub(crate) fn disconnected(&self) {
-        self.current.fetch_sub(1, Ordering::AcqRel);
+    /// Registers an accepted connection: returns its id for trace
+    /// events, bumps the gauge/counter, and emits `Accepted`.
+    pub(crate) fn connected(&self) -> u64 {
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.accepted.inc();
+        self.connections.inc();
+        self.tracer.emit(EventKind::Accepted, conn);
+        conn
+    }
+
+    /// Registers a connection's end: drops the gauge and emits the
+    /// event `cause` maps to, bumping cause-specific counters.
+    pub(crate) fn closed(&self, conn: u64, cause: CloseCause) {
+        self.connections.dec();
+        let kind = match cause {
+            CloseCause::Peer | CloseCause::Io => EventKind::Closed,
+            CloseCause::Framing => {
+                self.framing_errors.inc();
+                EventKind::FramingError
+            }
+            CloseCause::Idle => {
+                self.evictions.inc();
+                EventKind::Evicted(EvictReason::Idle)
+            }
+            CloseCause::Shutdown => EventKind::Evicted(EvictReason::Shutdown),
+        };
+        self.tracer.emit(kind, conn);
+    }
+
+    /// Records one backpressure stall (a connection crossing the
+    /// high-water mark; emitted once per crossing, not per byte).
+    pub(crate) fn backpressured(&self, conn: u64) {
+        self.backpressure_stalls.inc();
+        self.tracer.emit(EventKind::Backpressure, conn);
+    }
+
+    pub(crate) fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     fn snapshot(&self) -> TransportStats {
+        // Gauge::snapshot guarantees peak >= current at the observation
+        // point, which TransportStats documents.
+        let (current, peak) = self.connections.snapshot();
         TransportStats {
-            current_connections: self.current.load(Ordering::Acquire),
-            peak_connections: self.peak.load(Ordering::Acquire),
-            accepted: self.accepted.load(Ordering::Acquire),
+            current_connections: current as usize,
+            peak_connections: peak as usize,
+            accepted: self.accepted.get(),
         }
     }
 }
@@ -98,6 +191,7 @@ impl SharedStats {
 pub struct TcpServer {
     addr: SocketAddr,
     transport: &'static str,
+    registry: Arc<Registry>,
     stats: Arc<SharedStats>,
     inner: Inner,
 }
@@ -139,12 +233,17 @@ impl TcpServer {
         {
             let listener = TcpListener::bind(addr)?;
             let local = listener.local_addr()?;
-            let stats = Arc::new(SharedStats::default());
+            let registry = config
+                .registry
+                .clone()
+                .unwrap_or_else(|| Arc::new(Registry::new()));
+            let stats = Arc::new(SharedStats::resolve(&registry));
             match crate::event::spawn(listener, handler.clone(), &config, stats.clone()) {
                 Ok((handle, transport)) => {
                     return Ok(TcpServer {
                         addr: local,
                         transport,
+                        registry,
                         stats,
                         inner: Inner::Event(handle),
                     })
@@ -180,7 +279,11 @@ impl TcpServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(SharedStats::default());
+        let registry = config
+            .registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+        let stats = Arc::new(SharedStats::resolve(&registry));
         let stop2 = stop.clone();
         let stats2 = stats.clone();
         let accept_thread = std::thread::spawn(move || {
@@ -195,10 +298,10 @@ impl TcpServer {
                         let stop = stop2.clone();
                         let stats = stats2.clone();
                         let idle_timeout = config.idle_timeout;
-                        stats.connected();
+                        let conn = stats.connected();
                         conn_threads.push(std::thread::spawn(move || {
-                            let _ = serve_connection(stream, handler, &stop, idle_timeout);
-                            stats.disconnected();
+                            let cause = serve_connection(stream, handler, &stop, idle_timeout);
+                            stats.closed(conn, cause);
                         }));
                     }
                     Err(_) => break,
@@ -214,6 +317,7 @@ impl TcpServer {
         Ok(TcpServer {
             addr: local,
             transport: "threaded",
+            registry,
             stats,
             inner: Inner::Threaded {
                 stop,
@@ -236,6 +340,18 @@ impl TcpServer {
     /// Connection counter snapshot.
     pub fn stats(&self) -> TransportStats {
         self.stats.snapshot()
+    }
+
+    /// The telemetry registry this transport records into — the one
+    /// passed via [`TcpServerConfig::registry`], or a private one.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The connection-lifecycle event tracer (accept/close/evict/
+    /// backpressure/framing-error flight recorder).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        self.stats.tracer()
     }
 
     /// Stops serving and joins the transport. Live connections are
@@ -283,13 +399,25 @@ fn serve_connection(
     handler: Handler,
     stop: &AtomicBool,
     idle_timeout: Option<Duration>,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(THREADED_TICK))?;
-    stream.set_write_timeout(Some(THREADED_TICK))?;
+) -> CloseCause {
+    if stream.set_read_timeout(Some(THREADED_TICK)).is_err()
+        || stream.set_write_timeout(Some(THREADED_TICK)).is_err()
+    {
+        return CloseCause::Io;
+    }
     let mut buf = BytesMut::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     let mut last_activity = Instant::now();
     let expired = |last: Instant| idle_timeout.is_some_and(|t| last.elapsed() > t);
+    let stopped_or_idle = |last: Instant| -> Option<CloseCause> {
+        if stop.load(Ordering::SeqCst) {
+            Some(CloseCause::Shutdown)
+        } else if expired(last) {
+            Some(CloseCause::Idle)
+        } else {
+            None
+        }
+    };
     loop {
         // Drain complete frames.
         loop {
@@ -307,27 +435,27 @@ fn serve_connection(
                     let mut written = 0;
                     while written < bytes.len() {
                         match stream.write(&bytes[written..]) {
-                            Ok(0) => return Ok(()),
+                            Ok(0) => return CloseCause::Peer,
                             Ok(n) => {
                                 written += n;
                                 last_activity = Instant::now();
                             }
                             Err(e) if is_timeout(&e) => {
-                                if stop.load(Ordering::SeqCst) || expired(last_activity) {
-                                    return Ok(());
+                                if let Some(cause) = stopped_or_idle(last_activity) {
+                                    return cause;
                                 }
                             }
                             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                            Err(e) => return Err(e),
+                            Err(_) => return CloseCause::Io,
                         }
                     }
                 }
                 Ok(None) => break,
-                Err(_) => return Ok(()), // protocol violation: drop
+                Err(_) => return CloseCause::Framing, // protocol violation: drop
             }
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return Ok(()), // peer closed
+            Ok(0) => return CloseCause::Peer,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
                 last_activity = Instant::now();
@@ -335,12 +463,12 @@ fn serve_connection(
             Err(e) if is_timeout(&e) => {
                 // A tick without bytes: exit on shutdown, evict idle and
                 // mid-frame-stalled (slow-loris) peers past the timeout.
-                if stop.load(Ordering::SeqCst) || expired(last_activity) {
-                    return Ok(());
+                if let Some(cause) = stopped_or_idle(last_activity) {
+                    return cause;
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+            Err(_) => return CloseCause::Io,
         }
     }
 }
@@ -460,6 +588,7 @@ mod tests {
                     .map(|i| format!("s{}", from + u64::from(i)))
                     .collect(),
             },
+            Request::Stats => Reply::Stats { json: "{}".into() },
         })
     }
 

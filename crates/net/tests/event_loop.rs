@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use communix_net::{frame, Handler, Reply, Request, TcpClient, TcpServer, TcpServerConfig};
+use communix_telemetry::{EventKind, EvictReason};
 
 /// GET(k) answers with k constant-size signatures — large k makes a
 /// multi-megabyte reply, which is what forces short writes.
@@ -211,7 +212,22 @@ fn one_thousand_concurrent_connections_smoke() {
         ..TcpServerConfig::default()
     });
     let mut clients: Vec<TcpClient> = (0..1000)
-        .map(|_| TcpClient::connect(server.addr()).unwrap())
+        .map(|i| {
+            // Regression (stats invariant): a snapshot taken at any
+            // moment — including mid-accept-storm — must never show
+            // current above peak.
+            if i % 50 == 0 {
+                let s = server.stats();
+                assert!(
+                    s.peak_connections >= s.current_connections,
+                    "peak {} < current {} after {} connects",
+                    s.peak_connections,
+                    s.current_connections,
+                    i
+                );
+            }
+            TcpClient::connect(server.addr()).unwrap()
+        })
         .collect();
     // All 1000 are open simultaneously before any is dropped.
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -231,6 +247,17 @@ fn one_thousand_concurrent_connections_smoke() {
     let stats = server.stats();
     assert_eq!(stats.peak_connections, 1000);
     assert_eq!(stats.accepted, 1000);
+    // Half the clients hang up; peak stays monotone at the high-water
+    // mark while current falls, and the invariant keeps holding.
+    clients.truncate(500);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().current_connections > 500 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.current_connections, 500);
+    assert_eq!(stats.peak_connections, 1000, "peak is monotone");
+    assert!(stats.peak_connections >= stats.current_connections);
 }
 
 #[test]
@@ -248,4 +275,62 @@ fn garbage_framing_drops_only_the_offending_connection() {
     // The well-behaved connection is untouched.
     let reply = good.call(&Request::IssueId { user: 3 }).unwrap();
     assert_eq!(reply, Reply::Id { id: [3u8; 16] });
+    // The violation is on the record: one framing-error trace event and
+    // one counter tick, attributed to the dropped connection only.
+    let framing: Vec<_> = server
+        .tracer()
+        .events()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::FramingError)
+        .collect();
+    assert_eq!(framing.len(), 1, "{framing:?}");
+    assert_eq!(
+        server
+            .telemetry()
+            .snapshot()
+            .counter("transport.framing_errors"),
+        Some(1)
+    );
+}
+
+#[test]
+fn idle_eviction_leaves_exactly_one_eviction_trace_event() {
+    for server in all_transports(Some(Duration::from_millis(150))) {
+        let transport = server.transport();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(&frame(&Request::IssueId { user: 1 }.encode()))
+            .unwrap();
+        let mut chunk = [0u8; 64];
+        assert!(raw.read(&mut chunk).unwrap() > 0);
+        // Go silent; the server evicts and we observe EOF.
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(raw.read(&mut chunk).unwrap_or(0), 0, "on {transport}");
+        // Wait until the close is accounted server-side.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().current_connections > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let tracer = server.tracer();
+        let events = tracer.events();
+        let evictions: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Evicted(_)))
+            .collect();
+        assert_eq!(
+            evictions.len(),
+            1,
+            "expected exactly one eviction on {transport}: {events:?}"
+        );
+        assert_eq!(
+            evictions[0].kind,
+            EventKind::Evicted(EvictReason::Idle),
+            "wrong reason on {transport}"
+        );
+        // The same connection's accept is in the record, and nothing
+        // was lost to ring wrap or contention.
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::Accepted && e.conn == evictions[0].conn));
+        assert_eq!(tracer.drops(), 0, "on {transport}");
+    }
 }

@@ -21,20 +21,33 @@
 //!   per-user validation state;
 //! * per-user rate-limit/adjacency state is sharded by user id the same
 //!   way the database is sharded by signature text;
-//! * counters are atomics, not a mutex-guarded struct.
+//! * counters live in a lock-free telemetry [`Registry`]
+//!   ([`ServerStats`] is a view over it), and every request's latency
+//!   is recorded into a per-opcode histogram — one relaxed atomic add
+//!   per bucket, never a lock.
 //!
 //! Batched requests (`ADD_BATCH`, `GET_DELTA`) run the same per-item
 //! validation as their single-signature counterparts; `GET_DELTA`
 //! windows its reply to [`ServerConfig::delta_window`] signatures.
+//!
+//! # Observability
+//!
+//! The server answers [`Request::Stats`] with a JSON rendering of its
+//! telemetry snapshot: outcome counters, per-reject-reason counters,
+//! dedup fast-path hits, per-opcode latency histograms, and shard
+//! occupancy gauges (refreshed at snapshot time, not on the hot path).
+//! When served over TCP the transport registers its own connection
+//! gauges and counters in the same registry, so one `STATS` round trip
+//! observes the whole stack.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use communix_clock::{Clock, Instant, DAY};
 use communix_dimmunix::Signature;
 use communix_net::{AddResult, EncryptedId, Reply, Request};
+use communix_telemetry::{Counter, Histogram, Registry, Snapshot};
 use parking_lot::Mutex;
 
 use crate::auth::IdAuthority;
@@ -88,7 +101,9 @@ impl Default for ServerConfig {
     }
 }
 
-/// Aggregate server counters.
+/// Aggregate server counters — a point-in-time view over the server's
+/// telemetry [`Registry`] (the registry owns the live cells; this
+/// struct is what [`CommunixServer::stats`] copies out of it).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// ADDs accepted (newly stored) — batched items count individually.
@@ -109,30 +124,80 @@ pub struct ServerStats {
     pub deltas: u64,
 }
 
-/// Lock-free backing cells for [`ServerStats`].
-#[derive(Debug, Default)]
-struct StatsCells {
-    adds_accepted: AtomicU64,
-    adds_duplicate: AtomicU64,
-    adds_rejected: AtomicU64,
-    gets: AtomicU64,
-    sigs_served: AtomicU64,
-    ids_issued: AtomicU64,
-    batches: AtomicU64,
-    deltas: AtomicU64,
+/// Pre-resolved telemetry handles. Registering a metric takes the
+/// registry's lock, so the server resolves every series it records on
+/// the request path once at construction; recording through the
+/// [`Arc`] handles afterwards is lock-free.
+#[derive(Debug)]
+struct ServerMetrics {
+    adds_accepted: Arc<Counter>,
+    adds_duplicate: Arc<Counter>,
+    adds_rejected: Arc<Counter>,
+    gets: Arc<Counter>,
+    sigs_served: Arc<Counter>,
+    ids_issued: Arc<Counter>,
+    batches: Arc<Counter>,
+    deltas: Arc<Counter>,
+    stats_requests: Arc<Counter>,
+    /// ADDs acked off the dedup probe alone (shard read locks, no
+    /// parse, no per-user state).
+    dedup_fast_path: Arc<Counter>,
+    reject_bad_id: Arc<Counter>,
+    reject_malformed: Arc<Counter>,
+    reject_adjacent: Arc<Counter>,
+    reject_rate_limited: Arc<Counter>,
+    latency_add: Arc<Histogram>,
+    latency_get: Arc<Histogram>,
+    latency_issue_id: Arc<Histogram>,
+    latency_add_batch: Arc<Histogram>,
+    latency_get_delta: Arc<Histogram>,
+    latency_stats: Arc<Histogram>,
 }
 
-impl StatsCells {
-    fn snapshot(&self) -> ServerStats {
-        ServerStats {
-            adds_accepted: self.adds_accepted.load(Ordering::Acquire),
-            adds_duplicate: self.adds_duplicate.load(Ordering::Acquire),
-            adds_rejected: self.adds_rejected.load(Ordering::Acquire),
-            gets: self.gets.load(Ordering::Acquire),
-            sigs_served: self.sigs_served.load(Ordering::Acquire),
-            ids_issued: self.ids_issued.load(Ordering::Acquire),
-            batches: self.batches.load(Ordering::Acquire),
-            deltas: self.deltas.load(Ordering::Acquire),
+impl ServerMetrics {
+    fn resolve(registry: &Registry) -> Self {
+        ServerMetrics {
+            adds_accepted: registry.counter("server.adds.accepted"),
+            adds_duplicate: registry.counter("server.adds.duplicate"),
+            adds_rejected: registry.counter("server.adds.rejected"),
+            gets: registry.counter("server.gets"),
+            sigs_served: registry.counter("server.sigs_served"),
+            ids_issued: registry.counter("server.ids_issued"),
+            batches: registry.counter("server.batches"),
+            deltas: registry.counter("server.deltas"),
+            stats_requests: registry.counter("server.stats_requests"),
+            dedup_fast_path: registry.counter("server.dedup.fast_path_hits"),
+            reject_bad_id: registry.counter("server.reject.bad_id"),
+            reject_malformed: registry.counter("server.reject.malformed"),
+            reject_adjacent: registry.counter("server.reject.adjacent"),
+            reject_rate_limited: registry.counter("server.reject.rate_limited"),
+            latency_add: registry.histogram("server.latency.add"),
+            latency_get: registry.histogram("server.latency.get"),
+            latency_issue_id: registry.histogram("server.latency.issue_id"),
+            latency_add_batch: registry.histogram("server.latency.add_batch"),
+            latency_get_delta: registry.histogram("server.latency.get_delta"),
+            latency_stats: registry.histogram("server.latency.stats"),
+        }
+    }
+
+    /// The latency histogram for a [`Request::opcode`] name.
+    fn latency(&self, opcode: &str) -> &Histogram {
+        match opcode {
+            "add" => &self.latency_add,
+            "get" => &self.latency_get,
+            "issue_id" => &self.latency_issue_id,
+            "add_batch" => &self.latency_add_batch,
+            "get_delta" => &self.latency_get_delta,
+            _ => &self.latency_stats,
+        }
+    }
+
+    fn reject(&self, reason: RejectReason) -> &Counter {
+        match reason {
+            RejectReason::BadId => &self.reject_bad_id,
+            RejectReason::Malformed => &self.reject_malformed,
+            RejectReason::Adjacent => &self.reject_adjacent,
+            RejectReason::RateLimited => &self.reject_rate_limited,
         }
     }
 }
@@ -182,18 +247,32 @@ pub struct CommunixServer {
     /// users.len()`) so concurrent senders rarely share a mutex.
     users: Box<[Mutex<HashMap<u64, UserState>>]>,
     clock: Arc<dyn Clock>,
-    stats: StatsCells,
+    registry: Arc<Registry>,
+    metrics: ServerMetrics,
 }
 
 impl CommunixServer {
-    /// Creates a server with the default id authority key.
+    /// Creates a server with the default id authority key and a fresh
+    /// telemetry registry.
     pub fn new(config: ServerConfig, clock: Arc<dyn Clock>) -> Self {
+        Self::with_registry(config, clock, Arc::new(Registry::new()))
+    }
+
+    /// Creates a server that records into an existing `registry` — how
+    /// the TCP transports share one registry with the request path, so
+    /// a single `STATS` reply covers both layers.
+    pub fn with_registry(
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        registry: Arc<Registry>,
+    ) -> Self {
         let db = if config.db_shards == 0 {
             SignatureDb::single_lock()
         } else {
             SignatureDb::with_shards(config.db_shards)
         };
         let user_shards = config.db_shards.max(1);
+        let metrics = ServerMetrics::resolve(&registry);
         CommunixServer {
             config,
             db,
@@ -202,7 +281,8 @@ impl CommunixServer {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             clock,
-            stats: StatsCells::default(),
+            registry,
+            metrics,
         }
     }
 
@@ -217,14 +297,61 @@ impl CommunixServer {
         &self.db
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (a view over the telemetry registry).
     pub fn stats(&self) -> ServerStats {
-        self.stats.snapshot()
+        ServerStats {
+            adds_accepted: self.metrics.adds_accepted.get(),
+            adds_duplicate: self.metrics.adds_duplicate.get(),
+            adds_rejected: self.metrics.adds_rejected.get(),
+            gets: self.metrics.gets.get(),
+            sigs_served: self.metrics.sigs_served.get(),
+            ids_issued: self.metrics.ids_issued.get(),
+            batches: self.metrics.batches.get(),
+            deltas: self.metrics.deltas.get(),
+        }
+    }
+
+    /// The telemetry registry this server records into. Share it with
+    /// the transport (see [`CommunixServer::with_registry`]) to fold
+    /// connection metrics into the same `STATS` snapshot.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A point-in-time telemetry snapshot. Shard occupancy gauges
+    /// (`server.shard.<i>.sigs`, `server.db.sigs`, `server.db.bytes`)
+    /// are refreshed from the database here, at snapshot time, rather
+    /// than maintained on the hot path.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        for (i, s) in self.db.shard_stats().iter().enumerate() {
+            self.registry
+                .gauge(&format!("server.shard.{i}.sigs"))
+                .set(s.sigs as u64);
+        }
+        self.registry
+            .gauge("server.db.sigs")
+            .set(self.db.len() as u64);
+        self.registry
+            .gauge("server.db.bytes")
+            .set(self.db.stored_bytes() as u64);
+        self.registry.snapshot()
     }
 
     /// Processes one request — the "request processing routine" Figure 2
-    /// invokes from up to 100,000 simultaneous threads.
+    /// invokes from up to 100,000 simultaneous threads. Every request's
+    /// wall-clock latency lands in the `server.latency.<opcode>`
+    /// histogram.
     pub fn handle(&self, request: Request) -> Reply {
+        let opcode = request.opcode();
+        let start = std::time::Instant::now();
+        let reply = self.dispatch(request);
+        self.metrics
+            .latency(opcode)
+            .record_duration(start.elapsed());
+        reply
+    }
+
+    fn dispatch(&self, request: Request) -> Reply {
         match request {
             Request::Add { sender, sig_text } => {
                 let decision = self.process_add(&sender, &sig_text);
@@ -233,7 +360,7 @@ impl CommunixServer {
                 Reply::AddAck { accepted, reason }
             }
             Request::AddBatch { adds } => {
-                self.stats.batches.fetch_add(1, Ordering::AcqRel);
+                self.metrics.batches.inc();
                 let results = adds
                     .iter()
                     .map(|add| {
@@ -248,9 +375,15 @@ impl CommunixServer {
             Request::Get { from } => self.handle_get(from),
             Request::GetDelta { from, max } => self.handle_get_delta(from, max),
             Request::IssueId { user } => {
-                self.stats.ids_issued.fetch_add(1, Ordering::AcqRel);
+                self.metrics.ids_issued.inc();
                 Reply::Id {
                     id: self.authority.issue(user),
+                }
+            }
+            Request::Stats => {
+                self.metrics.stats_requests.inc();
+                Reply::Stats {
+                    json: self.telemetry_snapshot().render_json(),
                 }
             }
         }
@@ -272,6 +405,7 @@ impl CommunixServer {
 
         // Dedup fast path (read locks only).
         if self.db.contains(sig_text).is_some() {
+            self.metrics.dedup_fast_path.inc();
             return AddDecision::Duplicate;
         }
 
@@ -320,12 +454,14 @@ impl CommunixServer {
     }
 
     fn count(&self, decision: AddDecision) {
-        let cell = match decision {
-            AddDecision::Accepted => &self.stats.adds_accepted,
-            AddDecision::Duplicate => &self.stats.adds_duplicate,
-            AddDecision::Rejected(_) => &self.stats.adds_rejected,
-        };
-        cell.fetch_add(1, Ordering::AcqRel);
+        match decision {
+            AddDecision::Accepted => self.metrics.adds_accepted.inc(),
+            AddDecision::Duplicate => self.metrics.adds_duplicate.inc(),
+            AddDecision::Rejected(reason) => {
+                self.metrics.adds_rejected.inc();
+                self.metrics.reject(reason).inc();
+            }
+        }
     }
 
     fn verdict(decision: AddDecision) -> (bool, String) {
@@ -338,10 +474,8 @@ impl CommunixServer {
 
     fn handle_get(&self, from: u64) -> Reply {
         let sigs = self.db.get_from(from as usize);
-        self.stats.gets.fetch_add(1, Ordering::AcqRel);
-        self.stats
-            .sigs_served
-            .fetch_add(sigs.len() as u64, Ordering::AcqRel);
+        self.metrics.gets.inc();
+        self.metrics.sigs_served.add(sigs.len() as u64);
         Reply::Sigs { from, sigs }
     }
 
@@ -352,10 +486,8 @@ impl CommunixServer {
             (max as usize).min(self.config.delta_window)
         };
         let (sigs, total) = self.db.delta(from as usize, window);
-        self.stats.deltas.fetch_add(1, Ordering::AcqRel);
-        self.stats
-            .sigs_served
-            .fetch_add(sigs.len() as u64, Ordering::AcqRel);
+        self.metrics.deltas.inc();
+        self.metrics.sigs_served.add(sigs.len() as u64);
         Reply::Delta {
             from,
             total: total as u64,
@@ -372,10 +504,8 @@ impl CommunixServer {
     /// per-shard [`SignatureDb::shard_stats`] counters sum to.
     pub fn handle_get_scan(&self, from: u64) -> (usize, usize) {
         let r = self.db.scan_from(from as usize);
-        self.stats.gets.fetch_add(1, Ordering::AcqRel);
-        self.stats
-            .sigs_served
-            .fetch_add(r.0 as u64, Ordering::AcqRel);
+        self.metrics.gets.inc();
+        self.metrics.sigs_served.add(r.0 as u64);
         r
     }
 }
@@ -648,6 +778,57 @@ mod tests {
         assert_eq!(s.adds_rejected, 1);
         assert_eq!(s.gets, 1);
         assert_eq!(s.sigs_served, 1);
+    }
+
+    #[test]
+    fn stats_request_returns_parseable_snapshot() {
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1)); // accepted
+        add(&srv, 2, &sig(1)); // duplicate, via the dedup fast path
+        srv.handle(Request::Add {
+            sender: [0u8; 16],
+            sig_text: sig(2).to_string(),
+        }); // rejected: bad id
+        let Reply::Stats { json } = srv.handle(Request::Stats) else {
+            panic!("expected Stats reply");
+        };
+        let nums = communix_telemetry::json::flatten_numbers(&json).expect("valid json");
+        let find = |path: &str| {
+            nums.iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {path} in {json}"))
+        };
+        assert_eq!(find("counters.server.adds.accepted"), 1.0);
+        assert_eq!(find("counters.server.adds.duplicate"), 1.0);
+        assert_eq!(find("counters.server.dedup.fast_path_hits"), 1.0);
+        assert_eq!(find("counters.server.reject.bad_id"), 1.0);
+        assert_eq!(find("counters.server.reject.malformed"), 0.0);
+        assert_eq!(find("counters.server.stats_requests"), 1.0);
+        // Occupancy gauges are refreshed at snapshot time.
+        assert_eq!(find("gauges.server.db.sigs.current"), 1.0);
+        // All three ADDs were timed.
+        assert_eq!(find("histograms.server.latency.add.count"), 3.0);
+    }
+
+    #[test]
+    fn latency_histograms_cover_every_opcode() {
+        let (srv, _) = server();
+        add(&srv, 1, &sig(1));
+        srv.handle(Request::Get { from: 0 });
+        srv.handle(Request::IssueId { user: 1 });
+        srv.handle(Request::AddBatch { adds: vec![] });
+        srv.handle(Request::GetDelta { from: 0, max: 0 });
+        srv.handle(Request::Stats);
+        let snap = srv.telemetry_snapshot();
+        for op in ["add", "get", "issue_id", "add_batch", "get_delta", "stats"] {
+            let h = snap
+                .histogram(&format!("server.latency.{op}"))
+                .unwrap_or_else(|| panic!("no histogram for {op}"));
+            assert_eq!(h.count(), 1, "opcode {op}");
+        }
+        // The rollup helper sees all six.
+        assert_eq!(snap.merged_histogram("server.latency.").count(), 6);
     }
 
     #[test]

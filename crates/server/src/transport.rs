@@ -4,6 +4,11 @@
 //! immunity network, so the default transport is the event-driven C10K
 //! loop from `communix-net` ([`serve`]); the thread-per-connection
 //! baseline stays available as [`serve_threaded`] for comparison runs.
+//!
+//! Every `serve*` entry point hands the server's telemetry registry to
+//! the transport (unless the caller already set
+//! [`TcpServerConfig::registry`]), so a `STATS` request answered by the
+//! server also carries the transport's connection gauges and counters.
 
 use std::io;
 use std::sync::Arc;
@@ -14,6 +19,15 @@ use crate::CommunixServer;
 
 fn handler(server: Arc<CommunixServer>) -> Handler {
     Arc::new(move |req| server.handle(req))
+}
+
+/// Defaults the transport's registry to the server's own, so both
+/// layers show up in one snapshot.
+fn share_registry(server: &CommunixServer, mut config: TcpServerConfig) -> TcpServerConfig {
+    if config.registry.is_none() {
+        config.registry = Some(server.telemetry().clone());
+    }
+    config
 }
 
 /// Serves `server` on `addr` (port 0 for ephemeral) over the default
@@ -38,7 +52,7 @@ fn handler(server: Arc<CommunixServer>) -> Handler {
 /// println!("listening on {} via {}", tcp.addr(), tcp.transport());
 /// ```
 pub fn serve(addr: &str, server: Arc<CommunixServer>) -> io::Result<TcpServer> {
-    TcpServer::bind(addr, handler(server))
+    serve_with(addr, server, TcpServerConfig::default())
 }
 
 /// [`serve`] with explicit transport tunables (idle timeout, poller
@@ -52,6 +66,7 @@ pub fn serve_with(
     server: Arc<CommunixServer>,
     config: TcpServerConfig,
 ) -> io::Result<TcpServer> {
+    let config = share_registry(&server, config);
     TcpServer::bind_with(addr, handler(server), config)
 }
 
@@ -65,6 +80,7 @@ pub fn serve_threaded(
     server: Arc<CommunixServer>,
     config: TcpServerConfig,
 ) -> io::Result<TcpServer> {
+    let config = share_registry(&server, config);
     TcpServer::threaded_with(addr, handler(server), config)
 }
 
@@ -96,6 +112,33 @@ mod tests {
             Reply::Id { id: got } => assert_eq!(got, id),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_over_tcp_covers_server_and_transport() {
+        let srv = communix();
+        let tcp = serve("127.0.0.1:0", srv.clone()).unwrap();
+        assert!(
+            Arc::ptr_eq(srv.telemetry(), tcp.telemetry()),
+            "transport must share the server's registry"
+        );
+        let mut c = TcpClient::connect(tcp.addr()).unwrap();
+        c.call(&Request::Get { from: 0 }).unwrap();
+        let Reply::Stats { json } = c.call(&Request::Stats).unwrap() else {
+            panic!("expected Stats reply");
+        };
+        let nums = communix_telemetry::json::flatten_numbers(&json).expect("valid json");
+        let find = |path: &str| {
+            nums.iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {path} in {json}"))
+        };
+        // One snapshot sees the request path *and* the connection layer.
+        assert_eq!(find("counters.server.gets"), 1.0);
+        assert_eq!(find("counters.transport.accepted"), 1.0);
+        assert_eq!(find("gauges.transport.connections.current"), 1.0);
+        assert!(find("histograms.server.latency.get.count") == 1.0);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! A minimal JSON reader (the workspace vendors no serde): enough to
+//! flatten the numeric leaves of a telemetry snapshot or a `BENCH_*`
+//! artifact into `path → value` pairs. Used by the `STATS` integration
+//! tests and by the CI bench regression guard.
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses `input` and returns every numeric leaf as a
+/// `("dotted.path", value)` pair, in document order. Array elements use
+/// the index as the path segment. Strings, booleans and nulls are
+/// validated but not returned.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn flatten_numbers(input: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        out: Vec::new(),
+    };
+    p.skip_ws();
+    p.value(String::new())?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(p.out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<(String, f64)>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self, path: String) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(path),
+            Some(b'[') => self.array(path),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let v = self.number()?;
+                self.out.push((path, v));
+                Ok(())
+            }
+            other => Err(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self, path: String) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let child = if path.is_empty() {
+                key
+            } else {
+                format!("{path}.{key}")
+            };
+            self.value(child)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at offset {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, path: String) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        let mut i = 0usize;
+        loop {
+            let child = if path.is_empty() {
+                i.to_string()
+            } else {
+                format!("{path}.{i}")
+            };
+            self.value(child)?;
+            i += 1;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at offset {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape {:?} at offset {}",
+                                other.map(|c| c as char),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 continuation bytes pass through.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid utf-8 in string")?,
+                    );
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed number at offset {start}"))
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected {word:?} at offset {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_nested_numbers() {
+        let nums =
+            flatten_numbers(r#"{"a":{"b":1.5,"c":{"d":-2}},"e":3,"s":"x","t":true,"n":null}"#)
+                .unwrap();
+        assert_eq!(
+            nums,
+            vec![
+                ("a.b".to_string(), 1.5),
+                ("a.c.d".to_string(), -2.0),
+                ("e".to_string(), 3.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn arrays_use_index_segments() {
+        let nums = flatten_numbers(r#"{"xs":[10,20],"ys":[]}"#).unwrap();
+        assert_eq!(
+            nums,
+            vec![("xs.0".to_string(), 10.0), ("xs.1".to_string(), 20.0)]
+        );
+    }
+
+    #[test]
+    fn exponents_and_escapes_parse() {
+        let nums = flatten_numbers(r#"{"rate":1.5e3,"quote \"q\"":2}"#).unwrap();
+        assert_eq!(nums[0], ("rate".to_string(), 1500.0));
+        assert_eq!(nums[1], ("quote \"q\"".to_string(), 2.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(flatten_numbers("{").is_err());
+        assert!(flatten_numbers(r#"{"a":}"#).is_err());
+        assert!(flatten_numbers(r#"{"a":1}x"#).is_err());
+        assert!(flatten_numbers("").is_err());
+        assert!(flatten_numbers(r#"{"a":"unterminated}"#).is_err());
+    }
+
+    #[test]
+    fn escape_helper_roundtrips_through_parser() {
+        let gnarly = "quote \" backslash \\ newline \n end";
+        let doc = format!("{{\"{}\":1}}", escape(gnarly));
+        let nums = flatten_numbers(&doc).unwrap();
+        assert_eq!(nums[0].0, gnarly);
+    }
+}

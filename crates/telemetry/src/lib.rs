@@ -1,0 +1,49 @@
+//! Unified telemetry for Communix: the substrate every layer reports
+//! into, so per-operation overhead and tail latency — the paper's
+//! "collaborative immunity is cheap enough to run always-on" claim —
+//! are measured by the system itself rather than by bench-local timing.
+//!
+//! Three building blocks, all designed so that *recording* is wait-free
+//! (atomics only, no locks, no allocation):
+//!
+//! * [`Counter`] and [`Gauge`] — monotone and up/down atomics; a gauge
+//!   also tracks its all-time peak (a monotone high-water mark).
+//! * [`Histogram`] — log2-bucketed latency histogram. Recording is two
+//!   relaxed atomic adds and an atomic max; [`HistogramSnapshot`]s are
+//!   mergeable and expose p50/p90/p99/max.
+//! * [`Tracer`] — a fixed-capacity ring buffer of typed
+//!   [`TraceEvent`]s with global sequence numbers and a drop counter.
+//!   Emitting uses `try_lock` per slot and *never blocks*: a contended
+//!   or overwritten event is counted as dropped, not waited for.
+//!
+//! A [`Registry`] names and owns metrics. Handles ([`std::sync::Arc`])
+//! are resolved once at startup; the hot path touches only the handle's
+//! atomics. [`Snapshot`] renders the whole registry as aligned text or
+//! as JSON (the payload of the `STATS` wire message).
+//!
+//! # Example
+//!
+//! ```
+//! use communix_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("server.requests");
+//! let latency = registry.histogram("server.latency.add");
+//! requests.inc();
+//! latency.record(1_500); // nanoseconds
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("server.requests"), Some(1));
+//! assert!(snap.render_json().contains("\"server.requests\":1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod registry;
+mod tracer;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{Registry, Snapshot};
+pub use tracer::{EventKind, EvictReason, TraceEvent, Tracer};

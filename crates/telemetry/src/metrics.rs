@@ -1,0 +1,390 @@
+//! Wait-free metric primitives: counters, gauges, and log2 histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+///
+/// Recording is one relaxed atomic add; reading is one load. Counters
+/// never reset — rates are derived by differencing snapshots.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down gauge with an all-time peak.
+///
+/// The peak is a *monotone* high-water mark: it only ever grows, even
+/// while the current value falls. Because increments from concurrent
+/// threads race with decrements, the current value may briefly exceed
+/// an externally enforced limit (e.g. during transport accept races).
+/// Use [`Gauge::snapshot`] to read `(current, peak)` as a pair for
+/// which `peak >= current` is guaranteed; reading [`Gauge::get`] and
+/// [`Gauge::peak`] separately can race an in-flight increment whose
+/// peak update has not landed yet.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds one, updating the peak. Returns the new value.
+    pub fn inc(&self) -> u64 {
+        let now = self.value.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak.fetch_max(now, Ordering::AcqRel);
+        now
+    }
+
+    /// Subtracts one (saturating at zero). Returns the new value.
+    pub fn dec(&self) -> u64 {
+        let prev = self.value.fetch_sub(1, Ordering::AcqRel);
+        if prev == 0 {
+            // A stray decrement must not wrap to u64::MAX.
+            self.value.store(0, Ordering::Release);
+            return 0;
+        }
+        prev - 1
+    }
+
+    /// Sets the value outright, updating the peak.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Release);
+        self.peak.fetch_max(v, Ordering::AcqRel);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    /// All-time high-water mark (monotone).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Acquire)
+    }
+
+    /// `(current, peak)` with `peak >= current` guaranteed: the current
+    /// value is read first and folded into the reported peak, covering
+    /// the window where an increment has published its new value but
+    /// not yet raised the peak cell.
+    pub fn snapshot(&self) -> (u64, u64) {
+        let current = self.value.load(Ordering::Acquire);
+        (current, self.peak.load(Ordering::Acquire).max(current))
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zero, bucket *i* (for
+/// `i >= 1`) holds values in `[2^(i-1), 2^i)`, and the last bucket
+/// additionally absorbs everything beyond its lower bound.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, by convention).
+///
+/// Recording touches one bucket counter, the running sum, and the
+/// running max — three relaxed/monotone atomic operations, no locks.
+/// Quantiles are approximate to within one power of two (the bucket
+/// midpoint is reported); the max is exact.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, otherwise `floor(log2(v)) + 1`
+/// clamped to the top bucket.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] as nanoseconds (saturating).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the bucket counts. Concurrent recording
+    /// may straddle the copy (a sample can appear in `count` but not in
+    /// `sum` or vice versa); totals are exact once recording quiesces.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, cell) in buckets.iter_mut().zip(&self.buckets) {
+            *b = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity for [`HistogramSnapshot::merge`]).
+    pub fn empty() -> Self {
+        HistogramSnapshot::default()
+    }
+
+    /// Folds `other` into `self`: bucket counts and sums add, maxes
+    /// max. Merging snapshots of N histograms equals one histogram that
+    /// recorded all their samples.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Samples in bucket `i` (see [`HISTOGRAM_BUCKETS`] for bounds).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by nearest rank over the buckets,
+    /// reported as the arithmetic midpoint of the winning bucket's
+    /// bounds and clamped to the exact max. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = if i == 0 {
+                    0.0
+                } else {
+                    // Bucket i holds [2^(i-1), 2^i).
+                    (2f64.powi(i as i32 - 1) + 2f64.powi(i as i32)) / 2.0
+                };
+                return mid.min(self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Median, in the recorded unit (nanoseconds by convention).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_tracks_peak_monotonically() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.inc();
+        assert_eq!((g.get(), g.peak()), (3, 3));
+        g.dec();
+        g.dec();
+        assert_eq!((g.get(), g.peak()), (1, 3));
+        g.set(2);
+        assert_eq!((g.get(), g.peak()), (2, 3));
+        g.set(9);
+        assert_eq!((g.get(), g.peak()), (9, 9));
+    }
+
+    #[test]
+    fn gauge_never_wraps_below_zero() {
+        let g = Gauge::new();
+        assert_eq!(g.dec(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn bucket_bounds() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_data() {
+        let h = Histogram::new();
+        // 90 fast samples around 1µs, 10 slow around 1ms.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max(), 1_000_000);
+        // p50 lands in the 1µs bucket [512, 1024), p99 in the 1ms one.
+        assert!(s.p50() >= 512.0 && s.p50() < 1024.0, "p50={}", s.p50());
+        assert!(s.p99() >= 524_288.0, "p99={}", s.p99());
+        assert!(s.p99() <= 1_000_000.0);
+        assert!((s.mean() - (90.0 * 1e3 + 10.0 * 1e6) / 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantile_clamped_to_exact_max() {
+        let h = Histogram::new();
+        h.record(5);
+        let s = h.snapshot();
+        // Bucket midpoint of [4,8) is 6 — clamped to the real max 5.
+        assert_eq!(s.p99(), 5.0);
+        assert_eq!(s.p50(), 5.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [1_000u64, 10_000] {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.max(), 10_000);
+        let all = Histogram::new();
+        for v in [1u64, 10, 100, 1_000, 10_000] {
+            all.record(v);
+        }
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn duration_recording_saturates() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_nanos(1500));
+        assert_eq!(h.snapshot().max(), 1500);
+    }
+}

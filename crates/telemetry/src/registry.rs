@@ -1,0 +1,273 @@
+//! Named metric ownership and snapshot export.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::json::escape as json_escape;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Owns every named metric. Registration (`counter`/`gauge`/
+/// `histogram`) takes a write lock and returns an [`Arc`] handle;
+/// callers resolve handles once at startup and record through them
+/// lock-free thereafter. Asking for an existing name returns the same
+/// underlying metric, so independent layers can share a series.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(m) = map.read().expect("registry lock").get(name) {
+        return m.clone();
+    }
+    map.write()
+        .expect("registry lock")
+        .entry(name.to_string())
+        .or_default()
+        .clone()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], exportable as text or JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge `(current, peak)` pairs by name.
+    pub gauges: BTreeMap<String, (u64, u64)>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Nanoseconds → microseconds for export.
+fn us(nanos: f64) -> f64 {
+    nanos / 1e3
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The `(current, peak)` of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<(u64, u64)> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The snapshot of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Every histogram whose name starts with `prefix`, merged into
+    /// one. Convenient for "all request latency regardless of opcode"
+    /// style rollups (e.g. prefix `"server.latency."`).
+    pub fn merged_histogram(&self, prefix: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        for (name, h) in &self.histograms {
+            if name.starts_with(prefix) {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Renders the snapshot as aligned human-readable text, one metric
+    /// per line (histogram latencies in µs).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter    {name:<40} {v}\n"));
+        }
+        for (name, (current, peak)) in &self.gauges {
+            out.push_str(&format!("gauge      {name:<40} {current} (peak {peak})\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram  {name:<40} n={} p50={:.1}µs p90={:.1}µs p99={:.1}µs max={:.1}µs\n",
+                h.count(),
+                us(h.p50()),
+                us(h.p90()),
+                us(h.p99()),
+                us(h.max() as f64),
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSON — the payload of the `STATS` wire
+    /// reply. Histogram quantiles are exported in microseconds under
+    /// `p50_us`/`p90_us`/`p99_us`/`max_us`/`mean_us` alongside the raw
+    /// sample `count`.
+    pub fn render_json(&self) -> String {
+        let mut parts = Vec::new();
+        let obj = |fields: Vec<String>| format!("{{{}}}", fields.join(","));
+        parts.push(format!(
+            "\"counters\":{}",
+            obj(self
+                .counters
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+                .collect())
+        ));
+        parts.push(format!(
+            "\"gauges\":{}",
+            obj(self
+                .gauges
+                .iter()
+                .map(|(k, (current, peak))| format!(
+                    "\"{}\":{{\"current\":{current},\"peak\":{peak}}}",
+                    json_escape(k)
+                ))
+                .collect())
+        ));
+        parts.push(format!(
+            "\"histograms\":{}",
+            obj(self
+                .histograms
+                .iter()
+                .map(|(k, h)| format!(
+                    "\"{}\":{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\
+                     \"max_us\":{},\"mean_us\":{}}}",
+                    json_escape(k),
+                    h.count(),
+                    us(h.p50()),
+                    us(h.p90()),
+                    us(h.p99()),
+                    us(h.max() as f64),
+                    us(h.mean()),
+                ))
+                .collect())
+        ));
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_carries_all_three_kinds() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        let g = r.gauge("g");
+        g.inc();
+        g.inc();
+        g.dec();
+        r.histogram("h").record(1000);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(3));
+        assert_eq!(s.gauge("g"), Some((1, 2)));
+        assert_eq!(s.histogram("h").unwrap().count(), 1);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn merged_histogram_rolls_up_by_prefix() {
+        let r = Registry::new();
+        r.histogram("lat.add").record(10);
+        r.histogram("lat.get").record(20);
+        r.histogram("other").record(30);
+        let s = r.snapshot();
+        let merged = s.merged_histogram("lat.");
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max(), 20);
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_flattener() {
+        let r = Registry::new();
+        r.counter("server.adds").add(7);
+        r.gauge("conns").set(4);
+        r.histogram("lat").record(2000);
+        let json = r.snapshot().render_json();
+        let nums = crate::json::flatten_numbers(&json).expect("valid json");
+        let find = |path: &str| {
+            nums.iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {path} in {json}"))
+        };
+        assert_eq!(find("counters.server.adds"), 7.0);
+        assert_eq!(find("gauges.conns.current"), 4.0);
+        assert_eq!(find("gauges.conns.peak"), 4.0);
+        assert_eq!(find("histograms.lat.count"), 1.0);
+        assert_eq!(find("histograms.lat.max_us"), 2.0);
+    }
+
+    #[test]
+    fn text_render_mentions_every_metric() {
+        let r = Registry::new();
+        r.counter("a.count").inc();
+        r.gauge("b.gauge").set(5);
+        r.histogram("c.lat").record(1);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("a.count"));
+        assert!(text.contains("b.gauge"));
+        assert!(text.contains("(peak 5)"));
+        assert!(text.contains("c.lat"));
+        assert!(text.contains("n=1"));
+    }
+}

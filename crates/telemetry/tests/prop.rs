@@ -1,0 +1,134 @@
+//! Property tests for histogram correctness: bucket placement, merge
+//! linearity, and lossless concurrent recording.
+
+use std::sync::Arc;
+
+use communix_telemetry::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every recorded value lands in its log2 bucket: bucket 0 holds
+    /// exactly 0, bucket i (i >= 1) holds [2^(i-1), 2^i).
+    #[test]
+    fn values_land_in_their_log2_bucket(v in any::<u64>()) {
+        let h = Histogram::new();
+        h.record(v);
+        let s = h.snapshot();
+        let expected = if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        prop_assert_eq!(s.bucket(expected), 1, "value {} bucket {}", v, expected);
+        let total: u64 = (0..HISTOGRAM_BUCKETS).map(|i| s.bucket(i)).sum();
+        prop_assert_eq!(total, 1);
+        // The bucket's bounds actually contain the value.
+        if expected > 0 && expected < HISTOGRAM_BUCKETS - 1 {
+            let lo = 1u64 << (expected - 1);
+            let hi = 1u64 << expected;
+            prop_assert!(v >= lo && v < hi, "{} outside [{}, {})", v, lo, hi);
+        }
+    }
+
+    /// Merging per-part snapshots equals one histogram fed everything.
+    #[test]
+    fn merge_equals_sum_of_parts(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..64),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(&merged, &all.snapshot());
+        prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+        // Merging the empty snapshot is the identity.
+        let mut with_empty = merged.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(with_empty, merged);
+    }
+
+    /// Quantiles are monotone in q and never exceed the exact max.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        xs in proptest::collection::vec(0u64..10_000_000, 1..128),
+    ) {
+        let h = Histogram::new();
+        for &v in &xs {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.p50(), s.p90(), s.p99());
+        prop_assert!(p50 <= p90 && p90 <= p99, "{} {} {}", p50, p90, p99);
+        prop_assert!(p99 <= s.max() as f64);
+        // Log2 buckets promise at most 2x error: the true quantile's
+        // bucket midpoint is within [q/2, 2q] of any sample-based rank.
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let true_p50 = sorted[(sorted.len() - 1) / 2].max(1) as f64;
+        prop_assert!(
+            p50.max(1.0) <= true_p50 * 2.0 && p50.max(1.0) >= true_p50 / 2.0,
+            "p50 {} vs true {}",
+            p50,
+            true_p50
+        );
+    }
+}
+
+/// Concurrent recording from 8 threads loses no counts: the final
+/// snapshot holds exactly threads × per-thread samples, with the exact
+/// per-bucket totals the values imply.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    // THREADS × PER_THREAD tiles the 0..4096 cycle exactly (16 times).
+    const PER_THREAD: u64 = 8192;
+    let h = Arc::new(Histogram::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread values across several buckets determistically.
+                    h.record((t * PER_THREAD + i) % 4096);
+                }
+            });
+        }
+    });
+    let s = h.snapshot();
+    assert_eq!(s.count(), THREADS * PER_THREAD);
+    // Every thread recorded the same multiset (0..4096 cycled), so each
+    // bucket must hold an exact multiple of what one cycle implies.
+    let expected_per_cycle = |bucket: usize| -> u64 {
+        (0u64..4096)
+            .filter(|&v| {
+                let idx = if v == 0 {
+                    0
+                } else {
+                    (64 - v.leading_zeros()) as usize
+                };
+                idx == bucket
+            })
+            .count() as u64
+    };
+    let cycles = THREADS * PER_THREAD / 4096;
+    let remainder = THREADS * PER_THREAD % 4096;
+    assert_eq!(remainder, 0, "test parameters must tile the cycle exactly");
+    for bucket in 0..16 {
+        assert_eq!(
+            s.bucket(bucket),
+            expected_per_cycle(bucket) * cycles,
+            "bucket {bucket}"
+        );
+    }
+    assert_eq!(s.max(), 4095);
+}

@@ -29,6 +29,7 @@
 //! | [`net`] | wire codec, simulated network, event-driven C10K TCP transport |
 //! | [`crypto`] | SHA-256 and AES-128 (FIPS-tested, from scratch) |
 //! | [`clock`] | virtual + system clocks |
+//! | [`telemetry`] | lock-free metrics registry, latency histograms, event tracer |
 //! | [`workloads`] | Table I/II workloads, attackers, §IV-C model |
 //! | re-exports | [`CommunixNode`], [`NodeConfig`], [`CommunixPlugin`] |
 //!
@@ -93,4 +94,5 @@ pub use communix_dimmunix as dimmunix;
 pub use communix_net as net;
 pub use communix_runtime as runtime;
 pub use communix_server as server;
+pub use communix_telemetry as telemetry;
 pub use communix_workloads as workloads;
