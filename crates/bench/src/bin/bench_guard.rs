@@ -28,21 +28,36 @@ struct P99Diff {
     current: Option<f64>,
 }
 
+/// Whether a dotted path's leaf is a p99 field.
+fn is_p99_path(path: &str) -> bool {
+    path.rsplit('.')
+        .next()
+        .is_some_and(|leaf| leaf.contains("p99"))
+}
+
 /// Pairs every p99-carrying path in `baseline` with its value in
 /// `current` (`None` when the fresh artifact dropped the field).
 fn diff_p99(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<P99Diff> {
     baseline
         .iter()
-        .filter(|(path, _)| {
-            path.rsplit('.')
-                .next()
-                .is_some_and(|leaf| leaf.contains("p99"))
-        })
+        .filter(|(path, _)| is_p99_path(path))
         .map(|(path, base)| P99Diff {
             path: path.clone(),
             baseline: *base,
             current: current.iter().find(|(p, _)| p == path).map(|(_, v)| *v),
         })
+        .collect()
+}
+
+/// P99 paths present in `current` but unknown to the baseline: a newly
+/// added sweep dimension, not a regression. Reported as plain info —
+/// never a warning — until the committed baseline is regenerated.
+fn fresh_only_p99(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<String> {
+    current
+        .iter()
+        .filter(|(path, _)| is_p99_path(path))
+        .filter(|(path, _)| !baseline.iter().any(|(p, _)| p == path))
+        .map(|(path, _)| path.clone())
         .collect()
 }
 
@@ -99,6 +114,18 @@ fn main() {
         );
     }
 
+    let fresh = fresh_only_p99(&baseline, &current);
+    if !fresh.is_empty() {
+        println!(
+            "bench_guard: {} p99 field(s) in {current_path} have no baseline yet (new sweep \
+             dimensions; compared once the committed baseline is regenerated):",
+            fresh.len()
+        );
+        for path in &fresh {
+            println!("  new       {path}");
+        }
+    }
+
     if regressions == 0 {
         println!(
             "bench_guard: all {} p99 fields within {factor}× of baseline",
@@ -110,5 +137,53 @@ fn main() {
              (annotation only, not a gate)",
             diffs.len()
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(p, v)| (p.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn fresh_only_points_are_listed_but_never_diffed() {
+        let baseline = kv(&[("sweep.event_64.p99_us", 10.0)]);
+        let current = kv(&[
+            ("sweep.event_64.p99_us", 11.0),
+            // A sweep dimension the baseline predates.
+            ("pipeline.pipelined_w16.p99_us", 900.0),
+            ("pipeline.pipelined_w16.ops_per_sec", 5e5),
+        ]);
+        let diffs = diff_p99(&baseline, &current);
+        assert_eq!(diffs.len(), 1, "only baseline-known p99 paths are diffed");
+        assert_eq!(diffs[0].path, "sweep.event_64.p99_us");
+        assert_eq!(diffs[0].current, Some(11.0));
+        assert_eq!(
+            fresh_only_p99(&baseline, &current),
+            vec!["pipeline.pipelined_w16.p99_us".to_string()],
+            "new p99 dimensions surface as info, non-p99 fields not at all"
+        );
+    }
+
+    #[test]
+    fn baseline_only_points_surface_as_missing() {
+        let baseline = kv(&[("sweep.event_512.p99_us", 20.0)]);
+        let current = kv(&[("sweep.event_64.p99_us", 9.0)]);
+        let diffs = diff_p99(&baseline, &current);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].current, None, "dropped fields stay loud");
+    }
+
+    #[test]
+    fn non_p99_leaves_are_ignored_in_both_directions() {
+        let baseline = kv(&[("a.ops_per_sec", 1.0), ("a.server_p99_us", 2.0)]);
+        let current = kv(&[("a.ops_per_sec", 9.0), ("a.server_p99_us", 2.0)]);
+        let diffs = diff_p99(&baseline, &current);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].path, "a.server_p99_us");
+        assert!(fresh_only_p99(&baseline, &current).is_empty());
     }
 }

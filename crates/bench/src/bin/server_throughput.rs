@@ -31,11 +31,24 @@
 //!    is swept to 2048 connections (10240 in full mode); the
 //!    thread-per-connection baseline stops at 512, where a thread per
 //!    socket is already the cost being measured.
+//! 4. **`pipeline_depth_vs_throughput`** (unix) — per-connection
+//!    throughput as the client's in-flight window grows. A handful of
+//!    connections drive closed-loop `ISSUE_ID` against the event
+//!    transport: once with the blocking `TcpClient` (the pre-pipelining
+//!    client, one request on the wire at a time) and once with
+//!    `PipelinedClient` at windows 1, 4, 16, and 64. The blocking
+//!    client's per-connection rate is capped at `1/RTT`; the windowed
+//!    client overlaps requests on the same socket and the sweep records
+//!    how throughput scales with depth. `p99 µs` is the blocking
+//!    client's per-call stopwatch, or the pipelined client's per-frame
+//!    `client.rtt` histogram.
 //!
 //! Emits `BENCH_server_throughput.json` (override with `--out`) with
 //! ops/sec and p99 latency per scenario, plus the poller backend and fd
 //! limits behind the sweep — the artifact the CI bench job uploads and
 //! diffs against the committed baseline with `bench_guard`.
+//! `--summary-md <path>` additionally writes the pipeline sweep as a
+//! markdown table (the CI bench-smoke job puts it in the job summary).
 //!
 //! Latency is reported from **two vantage points**: the driver's
 //! closed-loop stopwatch (`p99_us`, includes the wire) and the server's
@@ -688,6 +701,140 @@ fn connections_point(event: bool, conns: usize, secs: f64) -> SweepPoint {
     }
 }
 
+// ---------------------------------------------------------------------
+// pipeline_depth_vs_throughput — per-connection pipelining sweep.
+// ---------------------------------------------------------------------
+
+/// Windows swept by `pipeline_depth_vs_throughput`.
+#[cfg(unix)]
+const PIPELINE_WINDOWS: [usize; 4] = [1, 4, 16, 64];
+
+/// One point of the pipelining sweep.
+#[cfg(unix)]
+struct PipelinePoint {
+    /// JSON key: `blocking_w1` or `pipelined_w{window}`.
+    name: String,
+    /// In-flight window; 0 marks the blocking baseline.
+    window: usize,
+    ops_per_sec: f64,
+    ops_per_sec_per_conn: f64,
+    p99_us: f64,
+}
+
+/// One blocking connection's closed loop: the pre-pipelining client,
+/// strictly one request on the wire at a time.
+#[cfg(unix)]
+fn drive_blocking_conn(addr: std::net::SocketAddr, secs: f64) -> (f64, f64) {
+    let mut client = TcpClient::connect(addr).expect("connect blocking driver");
+    let mut lat_us = Vec::new();
+    let mut ops = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < secs {
+        let t0 = Instant::now();
+        match client.call(&Request::IssueId { user: ops }) {
+            Ok(Reply::Id { .. }) => {}
+            other => panic!("blocking driver call failed: {other:?}"),
+        }
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        ops += 1;
+    }
+    (
+        ops as f64 / start.elapsed().as_secs_f64(),
+        percentile(&lat_us, 99.0),
+    )
+}
+
+/// One pipelined connection's closed loop: keep `window` requests in
+/// flight, pump, park only when the window is full and no reply has
+/// landed. `p99` comes from the client's own `client.rtt` histogram
+/// (per wire frame, in ns there; µs here).
+#[cfg(unix)]
+fn drive_pipelined_conn(addr: std::net::SocketAddr, window: usize, secs: f64) -> (f64, f64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use communix_client::{PipelineConfig, PipelinedClient};
+
+    let mut client = PipelinedClient::connect(
+        addr,
+        PipelineConfig {
+            window,
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("connect pipelined driver");
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut user = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < secs {
+        while client.pending() < window {
+            let completed = completed.clone();
+            client.submit(
+                Request::IssueId { user },
+                Box::new(move |result| {
+                    result.expect("pipelined ISSUE_ID");
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+            user += 1;
+        }
+        client.pump().expect("pump pipelined driver");
+        if client.pending() >= window {
+            let _ = client.wait(Some(Duration::from_millis(1)));
+        }
+    }
+    client
+        .drain(Some(Duration::from_secs(30)))
+        .expect("drain pipelined driver");
+    let elapsed = start.elapsed().as_secs_f64();
+    let p99_us = client
+        .telemetry()
+        .snapshot()
+        .histogram("client.rtt")
+        .map_or(0.0, |h| h.p99() / 1e3);
+    (completed.load(Ordering::Relaxed) as f64 / elapsed, p99_us)
+}
+
+/// One sweep point: a fresh event-transport server, `conns` driver
+/// threads (`window == 0` means the blocking baseline), summed
+/// throughput and worst per-connection p99.
+#[cfg(unix)]
+fn pipeline_depth_point(window: usize, conns: usize, secs: f64) -> PipelinePoint {
+    let server = Arc::new(CommunixServer::new(
+        ServerConfig::default(),
+        Arc::new(SystemClock::new()),
+    ));
+    let mut tcp =
+        communix_server::serve("127.0.0.1:0", server.clone()).expect("bind pipeline sweep server");
+    let addr = tcp.addr();
+    let results: Vec<(f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|_| {
+                scope.spawn(move || {
+                    if window == 0 {
+                        drive_blocking_conn(addr, secs)
+                    } else {
+                        drive_pipelined_conn(addr, window, secs)
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    tcp.shutdown();
+    let ops_per_sec: f64 = results.iter().map(|(r, _)| r).sum();
+    PipelinePoint {
+        name: if window == 0 {
+            "blocking_w1".into()
+        } else {
+            format!("pipelined_w{window}")
+        },
+        window,
+        ops_per_sec,
+        ops_per_sec_per_conn: ops_per_sec / conns as f64,
+        p99_us: results.iter().map(|(_, p)| *p).fold(0.0, f64::max),
+    }
+}
+
 fn main() {
     if let Some(addr) = arg_value("--drive") {
         let conns: usize = arg_value("--conns")
@@ -704,6 +851,7 @@ fn main() {
 
     let smoke = arg_flag("--smoke");
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_server_throughput.json".into());
+    let summary_md = arg_value("--summary-md");
     let (iters, reps, clients, rounds, batch) = if smoke {
         (150, 3, 12, 4, 4)
     } else {
@@ -838,6 +986,42 @@ fn main() {
         last_snapshot = Some(p.snapshot_text);
     }
 
+    // The pipelining sweep: same closed-loop ISSUE_ID drive, but the
+    // variable is the client's in-flight window, not the connection
+    // count. Few connections, driven from threads in this process.
+    #[cfg(unix)]
+    let pipeline_sweep = {
+        let conns = if smoke { 2 } else { 4 };
+        println!(
+            "\npipeline_depth_vs_throughput ({conns} conns × {drive_secs}s closed-loop \
+             ISSUE_ID, event transport):"
+        );
+        row(&[
+            "client",
+            "window",
+            "ops/s",
+            "ops/s/conn",
+            "p99 µs",
+            "vs blk/conn",
+        ]);
+        let mut points = vec![pipeline_depth_point(0, conns, drive_secs)];
+        for window in PIPELINE_WINDOWS {
+            points.push(pipeline_depth_point(window, conns, drive_secs));
+        }
+        let base = points[0].ops_per_sec_per_conn;
+        for p in &points {
+            row(&[
+                &p.name,
+                &p.window.max(1).to_string(),
+                &fmt_rate(p.ops_per_sec),
+                &fmt_rate(p.ops_per_sec_per_conn),
+                &format!("{:.1}", p.p99_us),
+                &format!("{:.2}×", p.ops_per_sec_per_conn / base),
+            ]);
+        }
+        (conns, points)
+    };
+
     let json = JsonObj::new()
         .str("bench", "server_throughput")
         .str("mode", if smoke { "smoke" } else { "full" })
@@ -880,10 +1064,62 @@ fn main() {
         .obj(
             "connections_vs_throughput",
             sweep_json.str("poller_backend", &backend),
-        )
-        .render();
+        );
+    #[cfg(unix)]
+    let json = {
+        let (conns, points) = &pipeline_sweep;
+        let base = points[0].ops_per_sec_per_conn;
+        let mut sweep = JsonObj::new()
+            .int("connections", *conns as u64)
+            .num("drive_secs", drive_secs);
+        for p in points {
+            sweep = sweep.obj(
+                &p.name,
+                JsonObj::new()
+                    .int("window", p.window.max(1) as u64)
+                    .num("ops_per_sec", p.ops_per_sec)
+                    .num("ops_per_sec_per_conn", p.ops_per_sec_per_conn)
+                    .num("p99_us", p.p99_us)
+                    .num("speedup_per_conn", p.ops_per_sec_per_conn / base),
+            );
+        }
+        json.obj("pipeline_depth_vs_throughput", sweep)
+    };
+    let json = json.render();
     std::fs::write(&out, format!("{json}\n")).expect("write bench artifact");
     println!("\nwrote {out}");
+
+    if let Some(path) = summary_md {
+        let mut md = String::from(
+            "### pipeline_depth_vs_throughput — ops/s per connection vs in-flight window\n\n",
+        );
+        #[cfg(unix)]
+        {
+            let (conns, points) = &pipeline_sweep;
+            let base = points[0].ops_per_sec_per_conn;
+            md.push_str(&format!(
+                "{conns} connections, {drive_secs}s closed-loop `ISSUE_ID` per point, \
+                 event transport.\n\n\
+                 | client | window | ops/s | ops/s/conn | p99 µs | vs blocking/conn |\n\
+                 |---|---:|---:|---:|---:|---:|\n"
+            ));
+            for p in points {
+                md.push_str(&format!(
+                    "| `{}` | {} | {} | {} | {:.1} | {:.2}× |\n",
+                    p.name,
+                    p.window.max(1),
+                    fmt_rate(p.ops_per_sec),
+                    fmt_rate(p.ops_per_sec_per_conn),
+                    p.p99_us,
+                    p.ops_per_sec_per_conn / base,
+                ));
+            }
+        }
+        #[cfg(not(unix))]
+        md.push_str("Skipped: the pipelined client sweep needs unix.\n");
+        std::fs::write(&path, md).expect("write markdown summary");
+        println!("wrote {path}");
+    }
 
     // Smoke runs double as the CI observability check: dump the final
     // sweep point's full telemetry snapshot to stderr so the log shows

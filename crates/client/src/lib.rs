@@ -1,14 +1,29 @@
 //! The Communix client: a local signature repository kept in sync with
 //! the Communix server by a background daemon (§III-B).
+//!
+//! Two ways to reach the server share the [`Connector`] abstraction:
+//! the blocking helpers in [`sync_once`]/[`sync_delta`] over any
+//! request→reply channel, and (on unix) the [`PipelinedClient`] engine,
+//! which keeps a window of requests in flight on one nonblocking
+//! connection and coalesces consecutive signature uploads into batch
+//! frames. [`PipelinedConnector`] adapts the engine back into a
+//! blocking [`Connector`], so every existing caller — including
+//! [`ClientDaemon`] — can run over a pipelined connection unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod daemon;
+#[cfg(unix)]
+mod pipeline;
 mod repo;
 mod sync;
 
 pub use daemon::{ClientDaemon, DaemonStats};
+#[cfg(unix)]
+pub use pipeline::{
+    Completion, PipelineConfig, PipelineError, PipelinedClient, PipelinedConnector,
+};
 pub use repo::LocalRepository;
 pub use sync::{
     fetch_stats, obtain_id, sync_delta, sync_once, upload_batch, upload_signature, Connector,

@@ -1,0 +1,267 @@
+//! The client side of the event-driven transport: a nonblocking,
+//! framed connection for pipelined clients.
+//!
+//! [`TcpClient`](crate::TcpClient) is strictly request→reply: it cannot
+//! put a second request on the wire before the first reply returns, so
+//! per-connection throughput is capped at `1 / RTT`. A
+//! [`NonblockingClient`] decouples the two directions — requests queue
+//! into a reusable write buffer ([`NonblockingClient::queue`]) and
+//! replies surface as they arrive ([`NonblockingClient::try_recv`]) —
+//! which is exactly the substrate a pipelined engine needs to keep a
+//! window of requests in flight. Request/reply *matching* is the
+//! caller's job (the protocol is FIFO: reply *n* answers request *n*);
+//! `communix-client`'s `PipelinedClient` builds that on top.
+//!
+//! Mirrors the server's per-connection state machine in
+//! [`crate::event`]: framed reassembly of partial reads, short-write
+//! resumption, and a readiness poller (the same vendored [`polling`]
+//! backend) for blocking waits. Encoding goes through the codec's
+//! `*_into` path, so a burst of queued requests performs zero per-frame
+//! allocations.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::time::Duration;
+
+use bytes::{Buf, BytesMut};
+use polling::{Events, Poller};
+
+use crate::codec::{deframe, frame_request_into, Reply, Request};
+use crate::tcp::ClientError;
+
+/// Poller key of the connection's single descriptor.
+const KEY: usize = 0;
+
+/// Per-read chunk size (matches both server transports).
+const CHUNK: usize = 16 * 1024;
+
+/// A nonblocking framed connection to a Communix server, for clients
+/// that keep several requests in flight on one socket.
+///
+/// All methods are non-blocking except [`NonblockingClient::wait`],
+/// which parks on the readiness poller until the socket can make
+/// progress (readable always; writable while queued bytes remain).
+///
+/// The socket runs with `TCP_NODELAY` set — a pipelined window of small
+/// frames must leave immediately, not sit in Nagle's buffer waiting for
+/// the previous frame's ACK.
+#[derive(Debug)]
+pub struct NonblockingClient {
+    stream: TcpStream,
+    poller: Poller,
+    events: Events,
+    inbuf: BytesMut,
+    out: BytesMut,
+    want_write: bool,
+    eof: bool,
+}
+
+impl NonblockingClient {
+    /// Connects (blocking), then switches the socket to nonblocking
+    /// mode with `TCP_NODELAY` set and registers it with a fresh
+    /// readiness poller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and socket-setup failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<NonblockingClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(stream.as_raw_fd(), KEY, true, false)?;
+        Ok(NonblockingClient {
+            stream,
+            poller,
+            events: Events::new(),
+            inbuf: BytesMut::with_capacity(8 * 1024),
+            out: BytesMut::with_capacity(8 * 1024),
+            want_write: false,
+            eof: false,
+        })
+    }
+
+    /// Whether `TCP_NODELAY` is set on the underlying socket (always,
+    /// for a connected client; exposed so transport tests can assert
+    /// the invariant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option read failure.
+    pub fn nodelay(&self) -> io::Result<bool> {
+        self.stream.nodelay()
+    }
+
+    /// Appends `request`, framed, to the write buffer. Nothing touches
+    /// the socket until [`NonblockingClient::flush`]. Allocation-free
+    /// once the buffer has grown to the burst's working size.
+    pub fn queue(&mut self, request: &Request) {
+        frame_request_into(request, &mut self.out);
+    }
+
+    /// Bytes queued but not yet accepted by the kernel.
+    pub fn queued_bytes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Writes queued bytes until done or the kernel would block.
+    /// Returns `true` when the write buffer fully drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on socket failures.
+    pub fn flush(&mut self) -> Result<bool, ClientError> {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => self.out.advance(n),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(self.out.is_empty())
+    }
+
+    /// Returns the next complete reply, if one is available: drains the
+    /// socket's readable bytes into the reassembly buffer and splits
+    /// off at most one frame. `Ok(None)` means no complete frame yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError`] on socket failures, malformed replies,
+    /// or a server that disconnected with no complete frame pending.
+    pub fn try_recv(&mut self) -> Result<Option<Reply>, ClientError> {
+        let mut chunk = [0u8; CHUNK];
+        loop {
+            if let Some(payload) = deframe(&mut self.inbuf)? {
+                return Ok(Some(Reply::decode(payload)?));
+            }
+            if self.eof {
+                return Err(ClientError::Disconnected);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Blocks until the socket is ready to make progress or `timeout`
+    /// elapses (`None` waits forever): readable always counts; writable
+    /// counts while queued bytes remain. Returns whether any readiness
+    /// arrived (`false` means the wait timed out).
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller failures.
+    pub fn wait(&mut self, timeout: Option<Duration>) -> io::Result<bool> {
+        let want_write = !self.out.is_empty();
+        if want_write != self.want_write {
+            self.poller
+                .modify(self.stream.as_raw_fd(), KEY, true, want_write)?;
+            self.want_write = want_write;
+        }
+        Ok(self.poller.wait(&mut self.events, timeout)? > 0)
+    }
+}
+
+impl Drop for NonblockingClient {
+    fn drop(&mut self) {
+        let _ = self.poller.delete(self.stream.as_raw_fd());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use crate::tcp::{Handler, TcpServer};
+
+    fn echo_server() -> TcpServer {
+        let handler: Handler = Arc::new(|req| match req {
+            Request::IssueId { user } => Reply::Id {
+                id: [(user & 0xff) as u8; 16],
+            },
+            Request::Get { from } => Reply::Sigs {
+                from,
+                sigs: Vec::new(),
+            },
+            other => Reply::Error {
+                message: format!("unexpected {other:?}"),
+            },
+        });
+        TcpServer::bind("127.0.0.1:0", handler).expect("bind")
+    }
+
+    fn drive_until_reply(conn: &mut NonblockingClient) -> Reply {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            conn.flush().expect("flush");
+            if let Some(reply) = conn.try_recv().expect("recv") {
+                return reply;
+            }
+            assert!(Instant::now() < deadline, "no reply within 10s");
+            conn.wait(Some(Duration::from_millis(50))).expect("wait");
+        }
+    }
+
+    #[test]
+    fn queued_burst_answers_in_fifo_order() {
+        let server = echo_server();
+        let mut conn = NonblockingClient::connect(server.addr()).unwrap();
+        for user in 0..32u64 {
+            conn.queue(&Request::IssueId { user });
+        }
+        for user in 0..32u64 {
+            let reply = drive_until_reply(&mut conn);
+            assert_eq!(
+                reply,
+                Reply::Id {
+                    id: [(user & 0xff) as u8; 16]
+                },
+                "reply order must match request order"
+            );
+        }
+    }
+
+    #[test]
+    fn nodelay_is_set() {
+        let server = echo_server();
+        let conn = NonblockingClient::connect(server.addr()).unwrap();
+        assert!(conn.nodelay().unwrap());
+    }
+
+    #[test]
+    fn try_recv_without_traffic_is_none() {
+        let server = echo_server();
+        let mut conn = NonblockingClient::connect(server.addr()).unwrap();
+        assert!(conn.try_recv().unwrap().is_none());
+        assert_eq!(conn.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn server_disconnect_surfaces_as_error() {
+        let mut server = echo_server();
+        let mut conn = NonblockingClient::connect(server.addr()).unwrap();
+        conn.queue(&Request::IssueId { user: 1 });
+        let _ = drive_until_reply(&mut conn);
+        server.shutdown();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match conn.try_recv() {
+                Err(_) => break,
+                Ok(_) => {
+                    assert!(Instant::now() < deadline, "no disconnect within 10s");
+                    let _ = conn.wait(Some(Duration::from_millis(50)));
+                }
+            }
+        }
+    }
+}

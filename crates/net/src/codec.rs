@@ -28,6 +28,17 @@
 //!
 //! Framing: every message is a 4-byte big-endian length followed by the
 //! payload. Payloads start with a tag byte.
+//!
+//! # Zero-copy hot path
+//!
+//! [`Request::encode`]/[`Reply::encode`] allocate a fresh buffer per
+//! message — fine for one-shot callers, wasteful inside a pipelined
+//! burst. The `*_into` variants ([`Request::encode_into`],
+//! [`frame_request_into`], [`frame_reply_into`]) append the framed
+//! message directly into a caller-owned [`BytesMut`], so a connection
+//! that reuses its write buffer encodes an entire burst without a
+//! single per-frame allocation. [`deframe`] was already zero-copy: it
+//! splits the payload out of the receive buffer in place.
 
 use std::fmt;
 
@@ -204,8 +215,11 @@ fn get_string(buf: &mut Bytes) -> Result<String, CodecError> {
     if len > MAX_FRAME || buf.remaining() < len {
         return Err(CodecError::Truncated);
     }
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    // `Bytes` is contiguous: validate in place, copy exactly once.
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| CodecError::BadUtf8)?;
+    let owned = s.to_owned();
+    buf.advance(len);
+    Ok(owned)
 }
 
 impl Request {
@@ -225,11 +239,19 @@ impl Request {
     /// Serializes the request payload (no frame header).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the request payload (no frame header) to `buf` without
+    /// allocating a fresh buffer — the zero-copy counterpart of
+    /// [`Request::encode`] for callers that reuse a write buffer.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Request::Add { sender, sig_text } => {
                 buf.put_u8(TAG_ADD);
                 buf.put_slice(sender);
-                put_string(&mut buf, sig_text);
+                put_string(buf, sig_text);
             }
             Request::Get { from } => {
                 buf.put_u8(TAG_GET);
@@ -244,7 +266,7 @@ impl Request {
                 buf.put_u32(adds.len() as u32);
                 for add in adds {
                     buf.put_slice(&add.sender);
-                    put_string(&mut buf, &add.sig_text);
+                    put_string(buf, &add.sig_text);
                 }
             }
             Request::GetDelta { from, max } => {
@@ -256,7 +278,6 @@ impl Request {
                 buf.put_u8(TAG_STATS);
             }
         }
-        buf.freeze()
     }
 
     /// Parses a request payload.
@@ -333,18 +354,26 @@ impl Reply {
     /// Serializes the reply payload (no frame header).
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the reply payload (no frame header) to `buf` without
+    /// allocating a fresh buffer — the zero-copy counterpart of
+    /// [`Reply::encode`] for callers that reuse a write buffer.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Reply::AddAck { accepted, reason } => {
                 buf.put_u8(TAG_ADD_ACK);
                 buf.put_u8(u8::from(*accepted));
-                put_string(&mut buf, reason);
+                put_string(buf, reason);
             }
             Reply::Sigs { from, sigs } => {
                 buf.put_u8(TAG_SIGS);
                 buf.put_u64(*from);
                 buf.put_u32(sigs.len() as u32);
                 for s in sigs {
-                    put_string(&mut buf, s);
+                    put_string(buf, s);
                 }
             }
             Reply::Id { id } => {
@@ -353,14 +382,14 @@ impl Reply {
             }
             Reply::Error { message } => {
                 buf.put_u8(TAG_ERROR);
-                put_string(&mut buf, message);
+                put_string(buf, message);
             }
             Reply::BatchAck { results } => {
                 buf.put_u8(TAG_BATCH_ACK);
                 buf.put_u32(results.len() as u32);
                 for r in results {
                     buf.put_u8(u8::from(r.accepted));
-                    put_string(&mut buf, &r.reason);
+                    put_string(buf, &r.reason);
                 }
             }
             Reply::Delta { from, total, sigs } => {
@@ -369,15 +398,14 @@ impl Reply {
                 buf.put_u64(*total);
                 buf.put_u32(sigs.len() as u32);
                 for s in sigs {
-                    put_string(&mut buf, s);
+                    put_string(buf, s);
                 }
             }
             Reply::Stats { json } => {
                 buf.put_u8(TAG_STATS_REPLY);
-                put_string(&mut buf, json);
+                put_string(buf, json);
             }
         }
-        buf.freeze()
     }
 
     /// Parses a reply payload.
@@ -475,6 +503,30 @@ pub fn frame(payload: &Bytes) -> Bytes {
     buf.freeze()
 }
 
+/// Appends one framed message to `buf`: reserves the 4-byte header,
+/// lets `encode` append the payload, then patches the length in. The
+/// allocation-free core of [`frame_request_into`]/[`frame_reply_into`].
+fn frame_into(buf: &mut BytesMut, encode: impl FnOnce(&mut BytesMut)) {
+    let header = buf.len();
+    buf.put_u32(0);
+    encode(buf);
+    let len = (buf.len() - header - 4) as u32;
+    buf[header..header + 4].copy_from_slice(&len.to_be_bytes());
+}
+
+/// Appends `request`, fully framed (header + payload), to `buf` without
+/// intermediate allocations. Byte-identical to
+/// `frame(&request.encode())`.
+pub fn frame_request_into(request: &Request, buf: &mut BytesMut) {
+    frame_into(buf, |b| request.encode_into(b));
+}
+
+/// Appends `reply`, fully framed (header + payload), to `buf` without
+/// intermediate allocations. Byte-identical to `frame(&reply.encode())`.
+pub fn frame_reply_into(reply: &Reply, buf: &mut BytesMut) {
+    frame_into(buf, |b| reply.encode_into(b));
+}
+
 /// Splits one frame off the front of `buf`, if complete. Returns the
 /// payload.
 ///
@@ -494,7 +546,7 @@ pub fn deframe(buf: &mut BytesMut) -> Result<Option<Bytes>, CodecError> {
         return Ok(None);
     }
     buf.advance(4);
-    Ok(Some(buf.split_to(len).freeze()))
+    Ok(Some(buf.split_to_frozen(len)))
 }
 
 #[cfg(test)]
@@ -664,6 +716,68 @@ mod tests {
             from: 0,
             sigs: Vec::new(),
         });
+    }
+
+    #[test]
+    fn frame_into_is_byte_identical_to_allocating_path() {
+        let requests = [
+            Request::Add {
+                sender: [7u8; 16],
+                sig_text: "sig local\nouter a#b:1\ninner a#c:2\nend".into(),
+            },
+            Request::Get { from: 12345 },
+            Request::AddBatch {
+                adds: vec![BatchAdd {
+                    sender: [9u8; 16],
+                    sig_text: "sig remote\nouter d#e:3\nend".into(),
+                }],
+            },
+            Request::Stats,
+        ];
+        let mut buf = BytesMut::new();
+        let mut reference = Vec::new();
+        for req in &requests {
+            frame_request_into(req, &mut buf);
+            reference.extend_from_slice(&frame(&req.encode()));
+        }
+        assert_eq!(&buf[..], &reference[..]);
+
+        let replies = [
+            Reply::AddAck {
+                accepted: false,
+                reason: "duplicate".into(),
+            },
+            Reply::Delta {
+                from: 3,
+                total: 9,
+                sigs: vec!["a".into(), "b".into()],
+            },
+            Reply::Error {
+                message: "boom".into(),
+            },
+        ];
+        let mut buf = BytesMut::new();
+        let mut reference = Vec::new();
+        for reply in &replies {
+            frame_reply_into(reply, &mut buf);
+            reference.extend_from_slice(&frame(&reply.encode()));
+        }
+        assert_eq!(&buf[..], &reference[..]);
+    }
+
+    #[test]
+    fn frame_into_burst_deframes_in_order() {
+        // A pipelined burst written through the reusable buffer splits
+        // back into the same frames, in order.
+        let mut buf = BytesMut::new();
+        for i in 0..20u64 {
+            frame_request_into(&Request::Get { from: i }, &mut buf);
+        }
+        for i in 0..20u64 {
+            let payload = deframe(&mut buf).unwrap().expect("frame present");
+            assert_eq!(Request::decode(payload).unwrap(), Request::Get { from: i });
+        }
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 use bytes::{Buf, BytesMut};
 use polling::{BackendKind, Events, Poller, Waker};
 
-use crate::codec::{deframe, frame, Reply, Request};
+use crate::codec::{deframe, frame_reply_into, Reply, Request};
 use crate::tcp::{CloseCause, Handler, SharedStats, TcpServerConfig};
 
 /// Reserved poller key for the listening socket.
@@ -334,7 +334,9 @@ fn process_frames(
                         message: format!("bad request: {e}"),
                     },
                 };
-                conn.out.extend_from_slice(&frame(&reply.encode()));
+                // Zero-copy: the reply frames straight into the
+                // connection's reusable write buffer.
+                frame_reply_into(&reply, &mut conn.out);
             }
             Ok(None) => break,
             Err(_) => return Err(CloseCause::Framing), // oversized/absurd frame: drop

@@ -14,21 +14,29 @@
 //! * [`TcpServer::threaded`] — the thread-per-connection baseline the
 //!   event loop is benchmarked against.
 //!
-//! [`TcpClient`] is a blocking client compatible with both servers. All
-//! unsafe syscall plumbing lives in the vendored `polling` crate; this
-//! crate stays `forbid(unsafe_code)`.
+//! Two clients are wire-compatible with both servers: [`TcpClient`], a
+//! blocking one-request-at-a-time client, and [`NonblockingClient`]
+//! (unix), a nonblocking framed connection for pipelined clients that
+//! keep a window of requests in flight on one socket. All unsafe
+//! syscall plumbing lives in the vendored `polling` crate; this crate
+//! stays `forbid(unsafe_code)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(unix)]
+mod client_conn;
 mod codec;
 #[cfg(unix)]
 mod event;
 mod simnet;
 mod tcp;
 
+#[cfg(unix)]
+pub use client_conn::NonblockingClient;
 pub use codec::{
-    deframe, frame, AddResult, BatchAdd, CodecError, EncryptedId, Reply, Request, MAX_FRAME,
+    deframe, frame, frame_reply_into, frame_request_into, AddResult, BatchAdd, CodecError,
+    EncryptedId, Reply, Request, MAX_FRAME,
 };
 pub use simnet::{Delivery, NicConfig, NodeId, SimNet};
 pub use tcp::{ClientError, Handler, TcpClient, TcpServer, TcpServerConfig, TransportStats};

@@ -148,6 +148,29 @@ impl SimNet {
         self.in_flight.push(Reverse((arrive, self.seq, self.seq)));
     }
 
+    /// Sends a whole window of messages from `from` to `to` in one
+    /// call, back-to-back through `from`'s NIC — how a pipelined client
+    /// puts its in-flight window on the wire. Returns the number
+    /// queued.
+    ///
+    /// Deliveries on one `(from, to)` link are FIFO: each message's NIC
+    /// serialization starts when the previous one's ends, and the link
+    /// latency is constant, so arrival order equals send order — the
+    /// property a windowed client's FIFO reply matching relies on.
+    pub fn send_burst(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payloads: impl IntoIterator<Item = Vec<u8>>,
+    ) -> usize {
+        let mut queued = 0;
+        for payload in payloads {
+            self.send(from, to, payload);
+            queued += 1;
+        }
+        queued
+    }
+
     /// Pops the next delivery in arrival order, advancing virtual time to
     /// its arrival. Returns `None` when nothing is in flight.
     pub fn next_delivery(&mut self) -> Option<Delivery> {
@@ -272,6 +295,53 @@ mod tests {
         assert_eq!(d.payload, vec![1, 2, 3, 4]);
         assert!(d.at >= ms(499) && d.at <= ms(501), "at={:?}", d.at);
         assert_eq!(net.sent_bytes(NodeId(1)), 500_000);
+    }
+
+    #[test]
+    fn windowed_burst_arrives_fifo_on_one_link() {
+        // A pipelined client's window: every frame on one (from, to)
+        // link must arrive in send order, whatever the sizes.
+        let mut net = SimNet::new(ms(5));
+        net.set_nic(
+            NodeId(1),
+            NicConfig {
+                bandwidth_bps: 1_000_000.0,
+            },
+        );
+        let window: Vec<Vec<u8>> = (0..8u8)
+            .map(|i| vec![i; 1000 * (8 - i as usize)]) // decreasing sizes
+            .collect();
+        assert_eq!(net.send_burst(NodeId(1), NodeId(2), window), 8);
+        for i in 0..8u8 {
+            let d = net.next_delivery().unwrap();
+            assert_eq!(d.payload[0], i, "frame {i} out of order");
+        }
+    }
+
+    #[test]
+    fn pipelining_overlaps_latency_with_serialization() {
+        // Four requests pipelined in one window complete in roughly one
+        // RTT plus serialization, not four sequential RTTs.
+        let latency = ms(10);
+        let payload = || vec![0u8; 1000];
+        let mut pipelined = SimNet::new(latency);
+        pipelined.send_burst(NodeId(1), NodeId(2), (0..4).map(|_| payload()));
+        let mut last = Duration::ZERO;
+        while let Some(d) = pipelined.next_delivery() {
+            last = d.at;
+        }
+        // All four arrive within ~one latency (serialization of 4 KB at
+        // 1 Gbit/s is microseconds).
+        assert!(last < ms(11), "pipelined window took {last:?}");
+
+        let mut sequential = SimNet::new(latency);
+        let mut now = Duration::ZERO;
+        for _ in 0..4 {
+            sequential.advance_to(now);
+            sequential.send(NodeId(1), NodeId(2), payload());
+            now = sequential.next_delivery().unwrap().at;
+        }
+        assert!(now >= ms(40), "sequential sends took only {now:?}");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use bytes::BytesMut;
 use communix_telemetry::{Counter, EventKind, EvictReason, Gauge, Registry, Tracer};
 
-use crate::codec::{deframe, frame, CodecError, Reply, Request};
+use crate::codec::{deframe, frame_reply_into, frame_request_into, CodecError, Reply, Request};
 
 /// A request handler: maps each request to a reply. Shared across
 /// connection threads (threaded transport) or called from the readiness
@@ -294,6 +294,10 @@ impl TcpServer {
                 }
                 match stream {
                     Ok(stream) => {
+                        // Small request/reply frames must not sit in
+                        // Nagle's buffer waiting for an ACK — pipelined
+                        // clients would see 40 ms stalls per window.
+                        let _ = stream.set_nodelay(true);
                         let handler = handler.clone();
                         let stop = stop2.clone();
                         let stats = stats2.clone();
@@ -406,6 +410,9 @@ fn serve_connection(
         return CloseCause::Io;
     }
     let mut buf = BytesMut::with_capacity(8 * 1024);
+    // Reusable reply buffer: one connection encodes every reply into the
+    // same allocation instead of a fresh one per frame.
+    let mut out = BytesMut::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
     let mut last_activity = Instant::now();
     let expired = |last: Instant| idle_timeout.is_some_and(|t| last.elapsed() > t);
@@ -429,12 +436,13 @@ fn serve_connection(
                             message: format!("bad request: {e}"),
                         },
                     };
-                    let bytes = frame(&reply.encode());
+                    out.clear();
+                    frame_reply_into(&reply, &mut out);
                     // Manual write loop: write_all would park forever on
                     // a peer that never drains its receive buffer.
                     let mut written = 0;
-                    while written < bytes.len() {
-                        match stream.write(&bytes[written..]) {
+                    while written < out.len() {
+                        match stream.write(&out[written..]) {
                             Ok(0) => return CloseCause::Peer,
                             Ok(n) => {
                                 written += n;
@@ -510,10 +518,17 @@ impl From<CodecError> for ClientError {
 
 /// A blocking TCP client for the Communix protocol. Wire-compatible
 /// with both server transports.
+///
+/// The socket runs with `TCP_NODELAY` set: request frames are small,
+/// and a client that waits for each reply before sending the next
+/// request would otherwise stall in Nagle's buffer. Read and write
+/// buffers are reused across calls — a call allocates only its decoded
+/// reply.
 #[derive(Debug)]
 pub struct TcpClient {
     stream: TcpStream,
     buf: BytesMut,
+    wbuf: BytesMut,
 }
 
 impl TcpClient {
@@ -528,7 +543,19 @@ impl TcpClient {
         Ok(TcpClient {
             stream,
             buf: BytesMut::with_capacity(8 * 1024),
+            wbuf: BytesMut::with_capacity(8 * 1024),
         })
+    }
+
+    /// Whether `TCP_NODELAY` is set on the underlying socket (it always
+    /// is for a connected client; exposed so transport tests can assert
+    /// the invariant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option read failure.
+    pub fn nodelay(&self) -> io::Result<bool> {
+        self.stream.nodelay()
     }
 
     /// Sends a request and waits for its reply.
@@ -537,7 +564,9 @@ impl TcpClient {
     ///
     /// Returns [`ClientError`] on socket or protocol failures.
     pub fn call(&mut self, req: &Request) -> Result<Reply, ClientError> {
-        self.stream.write_all(&frame(&req.encode()))?;
+        self.wbuf.clear();
+        frame_request_into(req, &mut self.wbuf);
+        self.stream.write_all(&self.wbuf)?;
         let mut chunk = [0u8; 16 * 1024];
         loop {
             if let Some(payload) = deframe(&mut self.buf)? {
@@ -775,6 +804,31 @@ mod tests {
                 sigs: vec!["s4".into(), "s5".into()]
             }
         );
+    }
+
+    #[test]
+    fn every_client_path_sets_tcp_nodelay() {
+        // Pipelined small frames hit Nagle stalls (up to one RTT per
+        // frame waiting for the previous ACK) unless TCP_NODELAY is set
+        // on every connector path: the blocking client, the nonblocking
+        // pipelined connection, and both servers' accepted sockets.
+        for server in all_transports() {
+            let client = TcpClient::connect(server.addr()).unwrap();
+            assert!(
+                client.nodelay().unwrap(),
+                "TcpClient to {} must set TCP_NODELAY",
+                server.transport()
+            );
+            #[cfg(unix)]
+            {
+                let conn = crate::client_conn::NonblockingClient::connect(server.addr()).unwrap();
+                assert!(
+                    conn.nodelay().unwrap(),
+                    "NonblockingClient to {} must set TCP_NODELAY",
+                    server.transport()
+                );
+            }
+        }
     }
 
     #[test]

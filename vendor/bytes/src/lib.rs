@@ -7,7 +7,7 @@
 //! prefix.
 
 use std::fmt;
-use std::ops::{Deref, RangeBounds};
+use std::ops::{Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
@@ -186,6 +186,17 @@ impl BytesMut {
         out
     }
 
+    /// Splits off the first `at` bytes of the live region directly into
+    /// an immutable [`Bytes`] — one copy, where `split_to(at).freeze()`
+    /// would copy twice.
+    pub fn split_to_frozen(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to_frozen out of bounds");
+        let out = Bytes::from(self.data[self.head..self.head + at].to_vec());
+        self.head += at;
+        self.compact_if_large();
+        out
+    }
+
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data[self.head..].to_vec())
@@ -228,6 +239,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.head..]
     }
 }
 
