@@ -61,6 +61,22 @@ fn fresh_only_p99(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<
         .collect()
 }
 
+/// The C10K inversion check: with two or more reactor shards the event
+/// transport should beat thread-per-connection at 512 connections.
+/// Returns `Some((event_r2, threaded))` when the fresh artifact carries
+/// both points and the event transport *lost* — reported as a
+/// `::warning::` (like every guard finding, never a gate). `None` when
+/// the points are absent or the event transport wins.
+fn sharding_inversion(current: &[(String, f64)]) -> Option<(f64, f64)> {
+    let get = |name: &str| {
+        let path = format!("connections_vs_throughput.{name}.ops_per_sec");
+        current.iter().find(|(p, _)| *p == path).map(|(_, v)| *v)
+    };
+    let event = get("event_r2_512")?;
+    let threaded = get("threaded_512")?;
+    (event < threaded).then_some((event, threaded))
+}
+
 fn main() {
     let current_path = arg_value("--current").expect("--current <fresh artifact path>");
     let baseline_path =
@@ -126,6 +142,13 @@ fn main() {
         }
     }
 
+    if let Some((event, threaded)) = sharding_inversion(&current) {
+        println!(
+            "::warning::bench_guard: sharded event transport slower than thread-per-connection \
+             at 512 conns: event_r2_512 {event:.0} ops/s < threaded_512 {threaded:.0} ops/s"
+        );
+    }
+
     if regressions == 0 {
         println!(
             "bench_guard: all {} p99 fields within {factor}× of baseline",
@@ -175,6 +198,53 @@ mod tests {
         let diffs = diff_p99(&baseline, &current);
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].current, None, "dropped fields stay loud");
+    }
+
+    #[test]
+    fn per_shard_reactor_points_without_baseline_are_info_not_warnings() {
+        // A baseline predating the reactors axis: the new
+        // `event_r{2,4}_*` per-shard p99 fields must surface only in
+        // the fresh-only info list, never in the warning-eligible diff.
+        let baseline = kv(&[("connections_vs_throughput.event_512.p99_us", 36.0)]);
+        let current = kv(&[
+            ("connections_vs_throughput.event_512.p99_us", 35.0),
+            ("connections_vs_throughput.event_r2_512.p99_us", 31.0),
+            ("connections_vs_throughput.event_r4_2048.server_p99_us", 0.8),
+            ("connections_vs_throughput.event_r4_2048.ops_per_sec", 7.5e4),
+            ("client_reactor.reactor_32.p99_us", 786.0),
+        ]);
+        let diffs = diff_p99(&baseline, &current);
+        assert_eq!(diffs.len(), 1, "only the baseline-known point is diffed");
+        assert_eq!(diffs[0].path, "connections_vs_throughput.event_512.p99_us");
+        let fresh = fresh_only_p99(&baseline, &current);
+        assert_eq!(
+            fresh,
+            vec![
+                "connections_vs_throughput.event_r2_512.p99_us".to_string(),
+                "connections_vs_throughput.event_r4_2048.server_p99_us".to_string(),
+                "client_reactor.reactor_32.p99_us".to_string(),
+            ],
+            "new reactor-axis p99 paths are info only"
+        );
+    }
+
+    #[test]
+    fn sharding_inversion_flags_only_a_real_loss() {
+        let inverted = kv(&[
+            ("connections_vs_throughput.event_r2_512.ops_per_sec", 7.0e4),
+            ("connections_vs_throughput.threaded_512.ops_per_sec", 8.0e4),
+        ]);
+        assert_eq!(sharding_inversion(&inverted), Some((7.0e4, 8.0e4)));
+
+        let healthy = kv(&[
+            ("connections_vs_throughput.event_r2_512.ops_per_sec", 9.0e4),
+            ("connections_vs_throughput.threaded_512.ops_per_sec", 8.0e4),
+        ]);
+        assert_eq!(sharding_inversion(&healthy), None);
+
+        // Artifacts predating the reactors axis never warn.
+        let old = kv(&[("connections_vs_throughput.threaded_512.ops_per_sec", 8.0e4)]);
+        assert_eq!(sharding_inversion(&old), None);
     }
 
     #[test]

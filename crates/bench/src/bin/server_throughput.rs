@@ -30,7 +30,11 @@
 //!    would otherwise share one process's fd limit. The event transport
 //!    is swept to 2048 connections (10240 in full mode); the
 //!    thread-per-connection baseline stops at 512, where a thread per
-//!    socket is already the cost being measured.
+//!    socket is already the cost being measured. The sweep carries a
+//!    **reactors axis**: the contended points re-run with the event
+//!    loop sharded across 2 and 4 reactor threads (`event_r{r}_{n}`
+//!    series; the unsuffixed `event_{n}` points stay the single-reactor
+//!    series the baseline diff tracks).
 //! 4. **`pipeline_depth_vs_throughput`** (unix) — per-connection
 //!    throughput as the client's in-flight window grows. A handful of
 //!    connections drive closed-loop `ISSUE_ID` against the event
@@ -42,6 +46,12 @@
 //!    how throughput scales with depth. `p99 µs` is the blocking
 //!    client's per-call stopwatch, or the pipelined client's per-frame
 //!    `client.rtt` histogram.
+//! 5. **`client_reactor`** (unix) — the same pipelined load (32
+//!    connections × window 16) driven once by 32 OS threads (one
+//!    connection each) and once by a single thread multiplexing all of
+//!    them through `ReactorPool`. The JSON records both series plus the
+//!    `efficiency` ratio — the fraction of the thread-per-connection
+//!    aggregate one reactor thread retains.
 //!
 //! Emits `BENCH_server_throughput.json` (override with `--out`) with
 //! ops/sec and p99 latency per scenario, plus the poller backend and fd
@@ -528,7 +538,11 @@ const DRIVER_CHILD_CAP: usize = 2048;
 const FD_MARGIN: u64 = 64;
 
 struct SweepPoint {
+    /// JSON key: `threaded_{n}`, `event_{n}`, or `event_r{r}_{n}`.
+    name: String,
     transport: String,
+    /// Reactor shard threads (0 for the threaded baseline).
+    reactors: usize,
     connections: usize,
     ops_per_sec: f64,
     p99_us: f64,
@@ -596,8 +610,11 @@ fn drive_connections(addr: &str, conns: usize, secs: f64) {
 
 /// One sweep point: serve in-process, fan `conns` connections across
 /// driver children, confirm via server-side stats that all of them are
-/// held at once, then measure a closed-loop drive window.
-fn connections_point(event: bool, conns: usize, secs: f64) -> SweepPoint {
+/// held at once, then measure a closed-loop drive window. `reactors`
+/// shards the event loop (0 only for the threaded baseline); the point
+/// is named `event_{n}` at one reactor — the pre-sharding series the
+/// baseline diff tracks — and `event_r{r}_{n}` beyond it.
+fn connections_point(event: bool, reactors: usize, conns: usize, secs: f64) -> SweepPoint {
     let server = Arc::new(CommunixServer::new(
         ServerConfig::default(),
         Arc::new(SystemClock::new()),
@@ -606,6 +623,7 @@ fn connections_point(event: bool, conns: usize, secs: f64) -> SweepPoint {
     // still dialing, and must not be evicted as slow-loris suspects.
     let cfg = TcpServerConfig {
         idle_timeout: Some(Duration::from_secs(120)),
+        reactors,
         ..TcpServerConfig::default()
     };
     let mut tcp = if event {
@@ -690,8 +708,15 @@ fn connections_point(event: bool, conns: usize, secs: f64) -> SweepPoint {
     let server_lat_us = server_latency_us(&server);
     let snapshot_text = server.telemetry_snapshot().render_text();
     tcp.shutdown();
+    let name = match (event, reactors) {
+        (false, _) => format!("threaded_{conns}"),
+        (true, 1) => format!("event_{conns}"),
+        (true, r) => format!("event_r{r}_{conns}"),
+    };
     SweepPoint {
+        name,
         transport,
+        reactors: if event { reactors } else { 0 },
         connections: conns,
         ops_per_sec,
         p99_us,
@@ -835,6 +860,127 @@ fn pipeline_depth_point(window: usize, conns: usize, secs: f64) -> PipelinePoint
     }
 }
 
+// ---------------------------------------------------------------------
+// client_reactor — one thread vs a thread per pipelined connection.
+// ---------------------------------------------------------------------
+
+/// One thread driving `conns` pipelined connections through the
+/// client-side [`communix_client::ReactorPool`]: every member's window is kept full, one
+/// shared poller wait parks the whole pool. `p99` is the pool's merged
+/// `client.rtt` histogram (all members share one registry).
+#[cfg(unix)]
+fn drive_reactor_pool(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    window: usize,
+    secs: f64,
+) -> (f64, f64) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use communix_client::{PipelineConfig, ReactorPool};
+
+    let mut pool = ReactorPool::connect(
+        addr,
+        conns,
+        PipelineConfig {
+            window,
+            ..PipelineConfig::default()
+        },
+    )
+    .expect("connect reactor pool");
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut user = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < secs {
+        for i in 0..pool.len() {
+            let pending = pool.client_mut(i).map_or(window, |c| c.pending());
+            for _ in pending..window {
+                let completed = completed.clone();
+                pool.submit(
+                    i,
+                    Request::IssueId { user },
+                    Box::new(move |result| {
+                        result.expect("reactor ISSUE_ID");
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+                user += 1;
+            }
+        }
+        pool.pump().expect("pump reactor pool");
+        if pool.pending() >= pool.live() * window {
+            let _ = pool.wait(Some(Duration::from_millis(1)));
+        }
+    }
+    pool.drain(Some(Duration::from_secs(30)))
+        .expect("drain reactor pool");
+    let elapsed = start.elapsed().as_secs_f64();
+    let p99_us = pool
+        .telemetry()
+        .snapshot()
+        .histogram("client.rtt")
+        .map_or(0.0, |h| h.p99() / 1e3);
+    (completed.load(Ordering::Relaxed) as f64 / elapsed, p99_us)
+}
+
+#[cfg(unix)]
+struct ClientReactorSweep {
+    connections: usize,
+    window: usize,
+    threads_ops: f64,
+    threads_p99_us: f64,
+    reactor_ops: f64,
+    reactor_p99_us: f64,
+}
+
+#[cfg(unix)]
+impl ClientReactorSweep {
+    /// Aggregate throughput of the one-thread reactor relative to the
+    /// thread-per-connection baseline at the same window.
+    fn efficiency(&self) -> f64 {
+        self.reactor_ops / self.threads_ops
+    }
+}
+
+/// The client-side reactor sweep: the same `conns × window` pipelined
+/// load driven twice against fresh event-transport servers — once by
+/// `conns` OS threads (one connection each, the pipeline sweep's
+/// driver), once by a single thread multiplexing all of them through a
+/// [`communix_client::ReactorPool`].
+#[cfg(unix)]
+fn client_reactor_sweep(conns: usize, window: usize, secs: f64) -> ClientReactorSweep {
+    let serve = || {
+        let server = Arc::new(CommunixServer::new(
+            ServerConfig::default(),
+            Arc::new(SystemClock::new()),
+        ));
+        communix_server::serve("127.0.0.1:0", server).expect("bind client_reactor server")
+    };
+
+    let mut tcp = serve();
+    let addr = tcp.addr();
+    let per_thread: Vec<(f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|_| scope.spawn(move || drive_pipelined_conn(addr, window, secs)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    tcp.shutdown();
+
+    let mut tcp = serve();
+    let (reactor_ops, reactor_p99_us) = drive_reactor_pool(tcp.addr(), conns, window, secs);
+    tcp.shutdown();
+
+    ClientReactorSweep {
+        connections: conns,
+        window,
+        threads_ops: per_thread.iter().map(|(r, _)| r).sum(),
+        threads_p99_us: per_thread.iter().map(|(_, p)| *p).fold(0.0, f64::max),
+        reactor_ops,
+        reactor_p99_us,
+    }
+}
+
 fn main() {
     if let Some(addr) = arg_value("--drive") {
         let conns: usize = arg_value("--conns")
@@ -929,11 +1075,21 @@ fn main() {
         &[64, 512, 2048, 10240]
     };
     let threaded_conns: &[usize] = &[64, 512];
-    let points: Vec<(bool, usize)> = threaded_conns
+    // The reactors axis: the same event sweep re-run with 2 and 4 shard
+    // threads at the contended points (sharding cannot help at 64).
+    let multi_reactor_conns: &[usize] = if smoke {
+        &[512, 2048]
+    } else {
+        &[512, 2048, 10240]
+    };
+    let mut points: Vec<(bool, usize, usize)> = threaded_conns
         .iter()
-        .map(|&n| (false, n))
-        .chain(event_conns.iter().map(|&n| (true, n)))
+        .map(|&n| (false, 0, n))
+        .chain(event_conns.iter().map(|&n| (true, 1, n)))
         .collect();
+    for r in [2usize, 4] {
+        points.extend(multi_reactor_conns.iter().map(|&n| (true, r, n)));
+    }
 
     println!(
         "\nconnections_vs_throughput ({drive_secs}s closed-loop ISSUE_ID per point, \
@@ -941,6 +1097,7 @@ fn main() {
     );
     row(&[
         "transport",
+        "reactors",
         "conns",
         "ops/s",
         "p99 µs",
@@ -953,18 +1110,24 @@ fn main() {
         .int("fd_hard_limit", fd_hard);
     let mut backend = "unavailable".to_string();
     let mut last_snapshot = None;
-    for (event, conns) in points {
-        let label = if event { "event" } else { "threaded" };
+    let mut sweep_points: Vec<SweepPoint> = Vec::new();
+    for (event, reactors, conns) in points {
         if conns as u64 + FD_MARGIN > fd_soft {
+            let label = if event { "event" } else { "threaded" };
             println!("{label}_{conns}: SKIPPED — needs > {fd_soft} fds in the server process");
             continue;
         }
-        let p = connections_point(event, conns, drive_secs);
+        let mut p = connections_point(event, reactors, conns, drive_secs);
         if event {
             backend = p.transport.clone();
         }
         row(&[
             &p.transport,
+            &(if event {
+                reactors.to_string()
+            } else {
+                "-".into()
+            }),
             &p.connections.to_string(),
             &fmt_rate(p.ops_per_sec),
             &format!("{:.1}", p.p99_us),
@@ -972,9 +1135,10 @@ fn main() {
             &p.peak_connections.to_string(),
         ]);
         sweep_json = sweep_json.obj(
-            &format!("{label}_{conns}"),
+            &p.name,
             JsonObj::new()
                 .str("transport", &p.transport)
+                .int("reactors", p.reactors as u64)
                 .int("connections", p.connections as u64)
                 .num("ops_per_sec", p.ops_per_sec)
                 .num("p99_us", p.p99_us)
@@ -983,7 +1147,8 @@ fn main() {
                 .num("server_p99_us", p.server_lat_us.2)
                 .int("peak_connections", p.peak_connections as u64),
         );
-        last_snapshot = Some(p.snapshot_text);
+        last_snapshot = Some(std::mem::take(&mut p.snapshot_text));
+        sweep_points.push(p);
     }
 
     // The pipelining sweep: same closed-loop ISSUE_ID drive, but the
@@ -1020,6 +1185,35 @@ fn main() {
             ]);
         }
         (conns, points)
+    };
+
+    // One thread vs a thread per connection over the same pipelined
+    // load: the client reactor earns its keep by holding most of the
+    // thread-per-connection aggregate from a single thread.
+    #[cfg(unix)]
+    let client_reactor = {
+        let (conns, window) = (32, 16);
+        println!(
+            "\nclient_reactor ({conns} pipelined conns × window {window}, {drive_secs}s \
+             closed-loop ISSUE_ID, event transport):"
+        );
+        let s = client_reactor_sweep(conns, window, drive_secs);
+        row(&["driver", "threads", "ops/s", "p99 µs", "efficiency"]);
+        row(&[
+            &format!("threads_{conns}"),
+            &conns.to_string(),
+            &fmt_rate(s.threads_ops),
+            &format!("{:.1}", s.threads_p99_us),
+            "1.00×",
+        ]);
+        row(&[
+            &format!("reactor_{conns}"),
+            "1",
+            &fmt_rate(s.reactor_ops),
+            &format!("{:.1}", s.reactor_p99_us),
+            &format!("{:.2}×", s.efficiency()),
+        ]);
+        s
     };
 
     let json = JsonObj::new()
@@ -1085,13 +1279,85 @@ fn main() {
         }
         json.obj("pipeline_depth_vs_throughput", sweep)
     };
+    #[cfg(unix)]
+    let json = {
+        let s = &client_reactor;
+        json.obj(
+            "client_reactor",
+            JsonObj::new()
+                .int("connections", s.connections as u64)
+                .int("window", s.window as u64)
+                .num("drive_secs", drive_secs)
+                .obj(
+                    &format!("threads_{}", s.connections),
+                    JsonObj::new()
+                        .int("threads", s.connections as u64)
+                        .num("ops_per_sec", s.threads_ops)
+                        .num("p99_us", s.threads_p99_us),
+                )
+                .obj(
+                    &format!("reactor_{}", s.connections),
+                    JsonObj::new()
+                        .int("threads", 1)
+                        .num("ops_per_sec", s.reactor_ops)
+                        .num("p99_us", s.reactor_p99_us),
+                )
+                .num("efficiency", s.efficiency()),
+        )
+    };
     let json = json.render();
     std::fs::write(&out, format!("{json}\n")).expect("write bench artifact");
     println!("\nwrote {out}");
 
     if let Some(path) = summary_md {
-        let mut md = String::from(
-            "### pipeline_depth_vs_throughput — ops/s per connection vs in-flight window\n\n",
+        let mut md =
+            String::from("### connections_vs_throughput — throughput by reactor count\n\n");
+        md.push_str(&format!(
+            "{drive_secs}s closed-loop `ISSUE_ID` per point, drivers in child processes \
+             (`-` reactors = thread-per-connection baseline).\n\n\
+             | point | transport | reactors | conns | ops/s | p99 µs | srv p99 µs |\n\
+             |---|---|---:|---:|---:|---:|---:|\n"
+        ));
+        for p in &sweep_points {
+            md.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} | {:.1} | {:.1} |\n",
+                p.name,
+                p.transport,
+                if p.reactors == 0 {
+                    "-".into()
+                } else {
+                    p.reactors.to_string()
+                },
+                p.connections,
+                fmt_rate(p.ops_per_sec),
+                p.p99_us,
+                p.server_lat_us.2,
+            ));
+        }
+        #[cfg(unix)]
+        {
+            let s = &client_reactor;
+            md.push_str(&format!(
+                "\n### client_reactor — one thread vs a thread per pipelined connection\n\n\
+                 {} connections × window {}, {drive_secs}s closed-loop `ISSUE_ID`.\n\n\
+                 | driver | threads | ops/s | p99 µs | efficiency |\n\
+                 |---|---:|---:|---:|---:|\n\
+                 | `threads_{}` | {} | {} | {:.1} | 1.00× |\n\
+                 | `reactor_{}` | 1 | {} | {:.1} | {:.2}× |\n",
+                s.connections,
+                s.window,
+                s.connections,
+                s.connections,
+                fmt_rate(s.threads_ops),
+                s.threads_p99_us,
+                s.connections,
+                fmt_rate(s.reactor_ops),
+                s.reactor_p99_us,
+                s.efficiency(),
+            ));
+        }
+        md.push_str(
+            "\n### pipeline_depth_vs_throughput — ops/s per connection vs in-flight window\n\n",
         );
         #[cfg(unix)]
         {

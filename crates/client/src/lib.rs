@@ -9,6 +9,11 @@
 //! frames. [`PipelinedConnector`] adapts the engine back into a
 //! blocking [`Connector`], so every existing caller — including
 //! [`ClientDaemon`] — can run over a pipelined connection unchanged.
+//!
+//! For many connections, [`ReactorPool`] (unix) is the client-side
+//! reactor: one thread drives M pipelined connections over one shared
+//! readiness poller, and [`MultiClient`] adapts a pool back into a
+//! [`Connector`] (calls rotate round-robin across the members).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,6 +21,8 @@
 mod daemon;
 #[cfg(unix)]
 mod pipeline;
+#[cfg(unix)]
+mod reactor;
 mod repo;
 mod sync;
 
@@ -24,6 +31,8 @@ pub use daemon::{ClientDaemon, DaemonStats};
 pub use pipeline::{
     Completion, PipelineConfig, PipelineError, PipelinedClient, PipelinedConnector,
 };
+#[cfg(unix)]
+pub use reactor::{MultiClient, ReactorPool};
 pub use repo::LocalRepository;
 pub use sync::{
     fetch_stats, obtain_id, sync_delta, sync_once, upload_batch, upload_signature, Connector,

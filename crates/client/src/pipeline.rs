@@ -212,6 +212,18 @@ impl PipelinedClient {
         &self.registry
     }
 
+    /// The nonblocking connection underneath, for a shared readiness
+    /// pool ([`crate::ReactorPool`]) to register and sync.
+    pub(crate) fn conn(&self) -> &NonblockingClient {
+        &self.conn
+    }
+
+    /// Whether the connection failed (every outstanding request has
+    /// already completed with the error).
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.is_some()
+    }
+
     /// Submits a request; `complete` fires (from a later
     /// [`PipelinedClient::pump`]) with the server's reply. Requests
     /// complete in submission order. On a dead client, `complete` fires

@@ -1,387 +1,306 @@
-//! The event-driven (C10K) TCP transport: one readiness loop of
-//! nonblocking sockets instead of one thread per connection.
+//! The event-driven (C10K) TCP transport: N reactor shards plus a
+//! dedicated accept thread, instead of one thread per connection.
 //!
-//! A single loop thread owns every connection. Each connection is a
-//! small state machine over the length-prefixed codec:
+//! The single readiness loop this transport started as is now the
+//! reactor core in [`crate::reactor`]; this module composes
+//! [`TcpServerConfig::reactors`](crate::TcpServerConfig) of them:
 //!
-//! * **framed reads** — bytes accumulate in a per-connection buffer;
-//!   complete frames are decoded, handled, and their replies appended to
-//!   the connection's write buffer. Partial frames simply wait for the
-//!   next readiness event.
-//! * **short-write resumption** — whatever the kernel doesn't accept
-//!   stays queued; the connection registers write interest and resumes
-//!   on the next writable event.
-//! * **write backpressure** — while more than [`HIGH_WATER`] bytes of
-//!   replies are queued, the loop stops *reading* (and stops decoding
-//!   already-buffered frames) from that connection, so a peer that
-//!   requests faster than it drains replies cannot balloon server
-//!   memory.
-//! * **idle/heartbeat timeout** — a connection that makes no read or
-//!   write progress for [`TcpServerConfig::idle_timeout`] is evicted.
-//!   This also defuses slow-loris peers that send a length prefix and
-//!   then stall inside a frame.
+//! * **accept thread** — owns the listener on its own small poller.
+//!   Each accepted socket is handed to the **least-loaded** shard
+//!   (ties broken round-robin) through that shard's wake-able
+//!   [`Handoff`] queue; the shard registers it with its private poller
+//!   and owns it for life. On fd exhaustion (`EMFILE`/`ENFILE`) the
+//!   thread drops a reserved emergency descriptor, accepts the pending
+//!   connection, and immediately closes it — shedding load instead of
+//!   spinning on a level-triggered listener that stays readable
+//!   forever. Sheds are counted in `transport.accept_sheds`.
+//! * **reactor shards** — each shard thread owns a disjoint set of
+//!   connections, so the read→decode→handle→write hot path never takes
+//!   a lock. Framing, backpressure, and idle eviction are per
+//!   connection and unchanged from the single-loop design.
 //!
 //! Readiness comes from the vendored [`polling`] crate: epoll on Linux,
 //! `poll(2)` as the fallback backend. Shutdown is signalled with an
-//! atomic flag plus a pipe [`Waker`], so stopping never waits on slow or
-//! dead peers.
+//! atomic flag plus pipe [`Waker`]s (one per thread); the accept thread
+//! joins first so no socket can be handed to an already-exited shard
+//! unaccounted.
 
-use std::collections::HashMap;
-use std::io::{self, ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::fs::File;
+use std::io::{self, ErrorKind};
+use std::net::TcpListener;
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
-use bytes::{Buf, BytesMut};
+use communix_telemetry::{Counter, Registry};
 use polling::{BackendKind, Events, Poller, Waker};
 
-use crate::codec::{deframe, frame_reply_into, Reply, Request};
-use crate::tcp::{CloseCause, Handler, SharedStats, TcpServerConfig};
+use crate::reactor::{Handoff, Reactor};
+use crate::tcp::{Handler, SharedStats, TcpServerConfig};
 
-/// Reserved poller key for the listening socket.
+/// Reserved poller key for the listening socket (accept thread).
 const KEY_LISTENER: usize = 0;
-/// Reserved poller key for the shutdown waker.
+/// Reserved poller key for the accept thread's shutdown waker.
 const KEY_WAKER: usize = 1;
-/// First key handed to an accepted connection.
-const KEY_FIRST_CONN: usize = 2;
 
-/// Queued-reply bytes above which a connection stops being read.
-const HIGH_WATER: usize = 1 << 20;
+/// Resolves [`TcpServerConfig::reactors`]: `0` sizes to the machine
+/// (`available_parallelism`, clamped to at most 4 — shards beyond the
+/// core count only add wakeup overhead).
+pub(crate) fn effective_reactors(configured: usize) -> usize {
+    if configured != 0 {
+        return configured.min(64);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
+}
 
-/// Per-read chunk size (matches the threaded transport).
-const CHUNK: usize = 16 * 1024;
-
-/// Handle owned by [`crate::TcpServer`]: signals the loop to stop and
-/// joins it.
+/// Handle owned by [`crate::TcpServer`]: signals every transport thread
+/// to stop and joins them all.
 #[derive(Debug)]
 pub(crate) struct EventHandle {
     stop: Arc<AtomicBool>,
-    waker: Waker,
-    thread: Option<JoinHandle<()>>,
+    accept_waker: Waker,
+    shards: Vec<Arc<Handoff>>,
+    stats: Arc<SharedStats>,
+    accept_thread: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
 }
 
 impl EventHandle {
-    /// Stops the loop promptly (never waits on peers) and joins it.
-    /// Idempotent.
+    /// Stops the transport promptly (never waits on peers) and joins
+    /// the accept thread and every reactor shard. Idempotent.
     pub(crate) fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        self.waker.wake();
-        if let Some(t) = self.thread.take() {
+        self.accept_waker.wake();
+        for shard in &self.shards {
+            shard.wake();
+        }
+        // The accept thread joins first: after it, no new socket can
+        // enter a handoff queue.
+        if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // Re-wake so a shard that raced past the first wake (busy with
+        // connection events) re-checks the stop flag.
+        for shard in &self.shards {
+            shard.wake();
+        }
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
+        }
+        // A shard that exited before the accept thread's last push
+        // never saw that socket; settle the accounting here.
+        for shard in &self.shards {
+            shard.drain_unregistered(&self.stats);
         }
     }
 }
 
-/// Starts the readiness loop on `listener`. Returns the handle and the
-/// transport name (`"event-epoll"` / `"event-poll"`).
+/// Starts the accept thread and `config.reactors` shard loops on
+/// `listener`. Returns the handle, the transport name (`"event-epoll"`
+/// / `"event-poll"`), and the resolved shard count.
 pub(crate) fn spawn(
     listener: TcpListener,
     handler: Handler,
     config: &TcpServerConfig,
     stats: Arc<SharedStats>,
-) -> io::Result<(EventHandle, &'static str)> {
-    let poller = if config.force_poll_backend {
+    registry: &Registry,
+) -> io::Result<(EventHandle, &'static str, usize)> {
+    let reactors = effective_reactors(config.reactors);
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Build every shard before spawning any thread, so a poller that
+    // fails (e.g. Unsupported on an exotic platform) leaks nothing.
+    let mut built = Vec::with_capacity(reactors);
+    let mut name = "event-epoll";
+    for i in 0..reactors {
+        let (reactor, handoff) = Reactor::new(
+            i,
+            config,
+            handler.clone(),
+            stop.clone(),
+            stats.clone(),
+            registry,
+        )?;
+        if matches!(reactor.backend(), BackendKind::Poll) {
+            name = "event-poll";
+        }
+        built.push((reactor, handoff));
+    }
+    let accept_poller = if config.force_poll_backend {
         Poller::with_backend(BackendKind::Poll)?
     } else {
         Poller::new()?
     };
-    let name = match poller.backend() {
-        BackendKind::Epoll => "event-epoll",
-        BackendKind::Poll => "event-poll",
-    };
-    listener.set_nonblocking(true)?;
-    let waker = Waker::new()?;
-    poller.add(listener.as_raw_fd(), KEY_LISTENER, true, false)?;
-    poller.add(waker.fd(), KEY_WAKER, true, false)?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let mut event_loop = EventLoop {
-        poller,
+    let accept_waker = Waker::new()?;
+    accept_poller.add(listener.as_raw_fd(), KEY_LISTENER, true, false)?;
+    accept_poller.add(accept_waker.fd(), KEY_WAKER, true, false)?;
+
+    let shards: Vec<Arc<Handoff>> = built.iter().map(|(_, h)| h.clone()).collect();
+    let mut shard_threads = Vec::with_capacity(reactors);
+    for (i, (mut reactor, _)) in built.into_iter().enumerate() {
+        shard_threads.push(
+            std::thread::Builder::new()
+                .name(format!("communix-reactor-{i}"))
+                .spawn(move || reactor.run())?,
+        );
+    }
+    let mut acceptor = Acceptor {
         listener,
-        waker: waker.clone(),
-        handler,
-        idle_timeout: config.idle_timeout,
+        poller: accept_poller,
+        waker: accept_waker.clone(),
         stop: stop.clone(),
-        stats,
-        conns: HashMap::new(),
-        next_key: KEY_FIRST_CONN,
+        stats: stats.clone(),
+        shards: shards.clone(),
+        rr: 0,
+        reserve: File::open("/dev/null").ok(),
+        handoffs: registry.counter("transport.accept_handoffs"),
+        sheds: registry.counter("transport.accept_sheds"),
     };
-    let thread = std::thread::Builder::new()
-        .name("communix-net-loop".into())
-        .spawn(move || event_loop.run())?;
-    Ok((
-        EventHandle {
-            stop,
-            waker,
-            thread: Some(thread),
-        },
-        name,
-    ))
-}
-
-/// One connection's state machine.
-struct Conn {
-    stream: TcpStream,
-    /// Trace-event id assigned at accept time.
-    id: u64,
-    /// Bytes received but not yet assembled into a complete frame.
-    inbuf: BytesMut,
-    /// Encoded reply frames not yet accepted by the kernel.
-    out: BytesMut,
-    /// Last read or write *progress* (stalled writes don't count).
-    last_activity: Instant,
-    /// Currently registered poller interest.
-    want_read: bool,
-    want_write: bool,
-    /// Whether this connection is currently above the write high-water
-    /// mark (lets the crossing emit exactly one trace event).
-    backpressured: bool,
-}
-
-impl Conn {
-    fn new(stream: TcpStream, id: u64, now: Instant) -> Conn {
-        Conn {
-            stream,
-            id,
-            inbuf: BytesMut::with_capacity(8 * 1024),
-            out: BytesMut::new(),
-            last_activity: now,
-            want_read: true,
-            want_write: false,
-            backpressured: false,
+    let accept_thread = std::thread::Builder::new()
+        .name("communix-accept".into())
+        .spawn(move || acceptor.run());
+    let mut handle = EventHandle {
+        stop,
+        accept_waker,
+        shards,
+        stats,
+        accept_thread: None,
+        shard_threads,
+    };
+    match accept_thread {
+        Ok(t) => handle.accept_thread = Some(t),
+        Err(e) => {
+            handle.shutdown(); // join the shards we already started
+            return Err(e);
         }
     }
+    Ok((handle, name, reactors))
 }
 
-struct EventLoop {
-    poller: Poller,
+/// The dedicated accept thread: owns the listener, places each fresh
+/// socket on the least-loaded shard's handoff queue, and sheds load
+/// under fd exhaustion via the emergency-descriptor trick.
+struct Acceptor {
     listener: TcpListener,
+    poller: Poller,
     waker: Waker,
-    handler: Handler,
-    idle_timeout: Option<Duration>,
     stop: Arc<AtomicBool>,
     stats: Arc<SharedStats>,
-    conns: HashMap<usize, Conn>,
-    next_key: usize,
+    shards: Vec<Arc<Handoff>>,
+    /// Round-robin cursor: the shard scanned first, so equal loads
+    /// still rotate placements.
+    rr: usize,
+    /// The emergency descriptor: one fd held in reserve so that under
+    /// `EMFILE` the thread can still accept-then-close (see
+    /// [`Acceptor::shed_one`]).
+    reserve: Option<File>,
+    /// `transport.accept_handoffs` — sockets handed to a shard.
+    handoffs: Arc<Counter>,
+    /// `transport.accept_sheds` — connections accepted and immediately
+    /// closed because the process was out of descriptors.
+    sheds: Arc<Counter>,
 }
 
-impl EventLoop {
+impl Acceptor {
     fn run(&mut self) {
         let mut events = Events::new();
-        // Idle eviction runs on a coarse sweep; waits are bounded by the
-        // sweep cadence so eviction happens even on a silent network.
-        let sweep_every = self
-            .idle_timeout
-            .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
-        let mut last_sweep = Instant::now();
         loop {
-            if self.poller.wait(&mut events, sweep_every).is_err() {
-                // A failing poller cannot make progress; exit rather
-                // than spin. Shutdown still joins normally.
+            if self.poller.wait(&mut events, None).is_err() {
                 break;
             }
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
-            let now = Instant::now();
             for ev in events.iter() {
                 match ev.key {
-                    KEY_LISTENER => self.accept_ready(now),
-                    KEY_WAKER => self.waker.drain(),
-                    key => self.conn_ready(key, ev.readable, ev.writable, now),
+                    KEY_LISTENER => self.accept_ready(),
+                    _ => self.waker.drain(),
                 }
             }
-            if let (Some(every), Some(timeout)) = (sweep_every, self.idle_timeout) {
-                if now.duration_since(last_sweep) >= every {
-                    last_sweep = now;
-                    self.evict_idle(now, timeout);
-                }
-            }
-        }
-        // Drop every connection (sends RST/FIN); nothing to wait for.
-        for (_, conn) in self.conns.drain() {
-            let _ = self.poller.delete(conn.stream.as_raw_fd());
-            self.stats.closed(conn.id, CloseCause::Shutdown);
         }
     }
 
     /// Accepts until the listener would block.
-    fn accept_ready(&mut self, now: Instant) {
+    fn accept_ready(&mut self) {
         loop {
+            // An accept storm must not delay shutdown indefinitely.
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    let _ = stream.set_nodelay(true);
-                    let key = self.next_key;
-                    self.next_key += 1;
-                    if self
-                        .poller
-                        .add(stream.as_raw_fd(), key, true, false)
-                        .is_err()
-                    {
-                        continue;
-                    }
                     let id = self.stats.connected();
-                    self.conns.insert(key, Conn::new(stream, id, now));
+                    let shard = self.pick_shard();
+                    self.handoffs.inc();
+                    self.shards[shard].push(stream, id);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                // Transient accept failures (e.g. fd exhaustion): give
-                // up for this event; level-triggered readiness retries.
+                Err(e) if fd_exhausted(&e) => {
+                    // Out of descriptors: shed the pending connection
+                    // instead of spinning (the level-triggered listener
+                    // would report readable forever).
+                    if !self.shed_one() {
+                        break;
+                    }
+                }
+                // Other transient accept failures: give up for this
+                // event; level-triggered readiness retries.
                 Err(_) => break,
             }
         }
     }
 
-    /// Drives one connection's state machine for one readiness event.
-    fn conn_ready(&mut self, key: usize, readable: bool, writable: bool, now: Instant) {
-        let Some(conn) = self.conns.get_mut(&key) else {
-            return; // already closed this iteration
+    /// Least-loaded shard, scanning from the round-robin cursor so ties
+    /// rotate instead of piling onto shard 0.
+    fn pick_shard(&mut self) -> usize {
+        let n = self.shards.len();
+        let start = self.rr % n;
+        self.rr = self.rr.wrapping_add(1);
+        let mut best = start;
+        let mut best_load = self.shards[start].load();
+        for off in 1..n {
+            let i = (start + off) % n;
+            let load = self.shards[i].load();
+            if load < best_load {
+                best = i;
+                best_load = load;
+            }
+        }
+        best
+    }
+
+    /// Frees the reserve descriptor, accepts the connection that
+    /// couldn't fit, and drops it on the floor — the peer gets a prompt
+    /// RST/FIN instead of a server that stops answering accepts
+    /// entirely. Returns whether the accept loop should continue.
+    fn shed_one(&mut self) -> bool {
+        let Some(reserve) = self.reserve.take() else {
+            return false; // reserve already lost: stop for this event
         };
-        let verdict = match drive(&self.handler, &self.stats, conn, readable, writable, now) {
-            Ok(()) if !sync_interest(&self.poller, key, conn) => Err(CloseCause::Io),
-            v => v,
+        drop(reserve);
+        let shed = match self.listener.accept() {
+            Ok((stream, _)) => {
+                drop(stream);
+                self.sheds.inc();
+                true
+            }
+            Err(_) => false,
         };
-        if let Err(cause) = verdict {
-            self.close(key, cause);
-        }
-    }
-
-    fn evict_idle(&mut self, now: Instant, timeout: Duration) {
-        let expired: Vec<usize> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| now.duration_since(c.last_activity) > timeout)
-            .map(|(&k, _)| k)
-            .collect();
-        for key in expired {
-            self.close(key, CloseCause::Idle);
-        }
-    }
-
-    fn close(&mut self, key: usize, cause: CloseCause) {
-        if let Some(conn) = self.conns.remove(&key) {
-            let _ = self.poller.delete(conn.stream.as_raw_fd());
-            self.stats.closed(conn.id, cause);
-        }
+        self.reserve = File::open("/dev/null").ok();
+        shed && self.reserve.is_some()
     }
 }
 
-/// Runs reads, frame handling, and writes for one event. Returns the
-/// [`CloseCause`] when the connection must be dropped (EOF, error,
-/// protocol violation).
-fn drive(
-    handler: &Handler,
-    stats: &SharedStats,
-    conn: &mut Conn,
-    readable: bool,
-    writable: bool,
-    now: Instant,
-) -> Result<(), CloseCause> {
-    if readable {
-        let mut chunk = [0u8; CHUNK];
-        loop {
-            if conn.out.len() >= HIGH_WATER {
-                break; // backpressure: drain before reading more
-            }
-            match conn.stream.read(&mut chunk) {
-                Ok(0) => return Err(CloseCause::Peer),
-                Ok(n) => {
-                    conn.inbuf.extend_from_slice(&chunk[..n]);
-                    conn.last_activity = now;
-                    process_frames(handler, stats, conn)?;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return Err(CloseCause::Io),
-            }
-        }
-    }
-    if (writable || !conn.out.is_empty()) && !flush(conn, now) {
-        return Err(CloseCause::Io);
-    }
-    // A flush may have drained below the high-water mark: resume
-    // decoding frames that backpressure deferred.
-    if conn.out.len() < HIGH_WATER {
-        conn.backpressured = false;
-    }
-    process_frames(handler, stats, conn)?;
-    if flush(conn, now) {
-        Ok(())
-    } else {
-        Err(CloseCause::Io)
-    }
-}
-
-/// Decodes and handles every complete frame in `inbuf`, subject to the
-/// write high-water mark. Fails with [`CloseCause::Framing`] on a
-/// framing violation.
-fn process_frames(
-    handler: &Handler,
-    stats: &SharedStats,
-    conn: &mut Conn,
-) -> Result<(), CloseCause> {
-    while conn.out.len() < HIGH_WATER {
-        match deframe(&mut conn.inbuf) {
-            Ok(Some(payload)) => {
-                let reply = match Request::decode(payload) {
-                    Ok(req) => handler(req),
-                    Err(e) => Reply::Error {
-                        message: format!("bad request: {e}"),
-                    },
-                };
-                // Zero-copy: the reply frames straight into the
-                // connection's reusable write buffer.
-                frame_reply_into(&reply, &mut conn.out);
-            }
-            Ok(None) => break,
-            Err(_) => return Err(CloseCause::Framing), // oversized/absurd frame: drop
-        }
-    }
-    // Trace the high-water crossing once; the flag resets when a flush
-    // drains the queue back below the mark.
-    if conn.out.len() >= HIGH_WATER && !conn.backpressured {
-        conn.backpressured = true;
-        stats.backpressured(conn.id);
-    }
-    Ok(())
-}
-
-/// Writes queued replies until done or the kernel would block.
-fn flush(conn: &mut Conn, now: Instant) -> bool {
-    while !conn.out.is_empty() {
-        match conn.stream.write(&conn.out) {
-            Ok(0) => return false,
-            Ok(n) => {
-                conn.out.advance(n);
-                conn.last_activity = now;
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => return false,
-        }
-    }
-    true
-}
-
-/// Re-registers the connection when its desired interest changed:
-/// readable unless backpressured, writable while replies are queued.
-fn sync_interest(poller: &Poller, key: usize, conn: &mut Conn) -> bool {
-    let want_read = conn.out.len() < HIGH_WATER;
-    let want_write = !conn.out.is_empty();
-    if (want_read, want_write) != (conn.want_read, conn.want_write) {
-        if poller
-            .modify(conn.stream.as_raw_fd(), key, want_read, want_write)
-            .is_err()
-        {
-            return false;
-        }
-        conn.want_read = want_read;
-        conn.want_write = want_write;
-    }
-    true
+/// Whether an accept error means the process (`EMFILE`, errno 24) or
+/// the system (`ENFILE`, errno 23) is out of file descriptors. Stable
+/// across Linux and the BSDs; `io::ErrorKind` has no portable variant
+/// for either.
+fn fd_exhausted(e: &io::Error) -> bool {
+    matches!(e.raw_os_error(), Some(23) | Some(24))
 }

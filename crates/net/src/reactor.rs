@@ -1,0 +1,455 @@
+//! The reactor core of the event-driven transport: one shard = one
+//! thread owning a poller, a wake-able handoff queue, and every
+//! connection handed to it.
+//!
+//! [`crate::event`] composes N of these with a dedicated accept thread.
+//! The split keeps the hot path lock-free: a connection is owned by
+//! exactly one shard for its whole life, so reads, frame decoding,
+//! handler dispatch, and writes touch only that shard's private
+//! `HashMap` — no lock is taken per event. The only cross-thread
+//! structure is the [`Handoff`]: a mutex-guarded queue of freshly
+//! accepted sockets that the accept thread pushes and the shard drains
+//! when its waker fires, plus an atomic connection count the accept
+//! thread reads to pick the least-loaded shard.
+//!
+//! Each connection is a small state machine over the length-prefixed
+//! codec (unchanged from the single-loop transport):
+//!
+//! * **framed reads** — bytes accumulate in a per-connection buffer;
+//!   complete frames are decoded, handled, and their replies appended to
+//!   the connection's write buffer. Partial frames simply wait for the
+//!   next readiness event.
+//! * **short-write resumption** — whatever the kernel doesn't accept
+//!   stays queued; the connection registers write interest and resumes
+//!   on the next writable event.
+//! * **write backpressure** — while more than [`HIGH_WATER`] bytes of
+//!   replies are queued, the shard stops *reading* (and stops decoding
+//!   already-buffered frames) from that connection, so a peer that
+//!   requests faster than it drains replies cannot balloon server
+//!   memory.
+//! * **idle/heartbeat timeout** — a connection that makes no read or
+//!   write progress for the configured idle timeout is evicted. This
+//!   also defuses slow-loris peers that send a length prefix and then
+//!   stall inside a frame.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::{Buf, BytesMut};
+use communix_telemetry::{Counter, Gauge, Registry};
+use polling::{BackendKind, Events, Poller, Waker};
+
+use crate::codec::{deframe, frame_reply_into, Reply, Request};
+use crate::tcp::{CloseCause, Handler, SharedStats, TcpServerConfig};
+
+/// Reserved poller key for the shard's waker.
+const KEY_WAKER: usize = 0;
+/// First key handed to a registered connection.
+const KEY_FIRST_CONN: usize = 1;
+
+/// Queued-reply bytes above which a connection stops being read.
+pub(crate) const HIGH_WATER: usize = 1 << 20;
+
+/// Per-read chunk size (matches the threaded transport).
+const CHUNK: usize = 16 * 1024;
+
+/// The accept thread's handle to one shard: a wake-able queue of
+/// freshly accepted sockets plus the shard's live connection count
+/// (queued + registered), read lock-free for least-loaded placement.
+#[derive(Debug)]
+pub(crate) struct Handoff {
+    queue: Mutex<VecDeque<(TcpStream, u64)>>,
+    waker: Waker,
+    load: AtomicUsize,
+}
+
+impl Handoff {
+    /// Connections this shard is responsible for (registered plus still
+    /// in its queue). The accept thread's shard-choice signal.
+    pub(crate) fn load(&self) -> usize {
+        self.load.load(Ordering::Relaxed)
+    }
+
+    /// Accept side: queues a socket for this shard and wakes its loop.
+    pub(crate) fn push(&self, stream: TcpStream, id: u64) {
+        self.load.fetch_add(1, Ordering::Relaxed);
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back((stream, id));
+        self.waker.wake();
+    }
+
+    /// Wakes the shard's loop (shutdown signal).
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+
+    fn pop(&self) -> Option<(TcpStream, u64)> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Drops sockets no shard will ever register (shutdown ordering: a
+    /// shard may exit between the accept thread's final push and its
+    /// own queue drain) and settles their accounting.
+    pub(crate) fn drain_unregistered(&self, stats: &SharedStats) {
+        while let Some((stream, id)) = self.pop() {
+            drop(stream);
+            self.load.fetch_sub(1, Ordering::Relaxed);
+            stats.closed(id, CloseCause::Shutdown);
+        }
+    }
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Trace-event id assigned at accept time.
+    id: u64,
+    /// Bytes received but not yet assembled into a complete frame.
+    inbuf: BytesMut,
+    /// Encoded reply frames not yet accepted by the kernel.
+    out: BytesMut,
+    /// Last read or write *progress* (stalled writes don't count).
+    last_activity: Instant,
+    /// Currently registered poller interest.
+    want_read: bool,
+    want_write: bool,
+    /// Whether this connection is currently above the write high-water
+    /// mark (lets the crossing emit exactly one trace event).
+    backpressured: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, id: u64, now: Instant) -> Conn {
+        Conn {
+            stream,
+            id,
+            inbuf: BytesMut::with_capacity(8 * 1024),
+            out: BytesMut::new(),
+            last_activity: now,
+            want_read: true,
+            want_write: false,
+            backpressured: false,
+        }
+    }
+}
+
+/// One reactor shard: a poller, a waker, and the connections this
+/// thread owns. Runs until the shared stop flag is set.
+pub(crate) struct Reactor {
+    poller: Poller,
+    waker: Waker,
+    handler: Handler,
+    idle_timeout: Option<Duration>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    handoff: Arc<Handoff>,
+    conns: HashMap<usize, Conn>,
+    next_key: usize,
+    /// `transport.reactor.<i>.connections` — this shard's share of the
+    /// aggregate `transport.connections` gauge.
+    shard_conns: Arc<Gauge>,
+    /// `transport.reactor.<i>.frames` — request frames this shard
+    /// decoded and handled (per-shard throughput).
+    shard_frames: Arc<Counter>,
+}
+
+impl Reactor {
+    /// Builds shard `index`: its poller, waker, and telemetry handles.
+    /// Returns the reactor plus the [`Handoff`] the accept thread feeds.
+    pub(crate) fn new(
+        index: usize,
+        config: &TcpServerConfig,
+        handler: Handler,
+        stop: Arc<AtomicBool>,
+        stats: Arc<SharedStats>,
+        registry: &Registry,
+    ) -> io::Result<(Reactor, Arc<Handoff>)> {
+        let poller = if config.force_poll_backend {
+            Poller::with_backend(BackendKind::Poll)?
+        } else {
+            Poller::new()?
+        };
+        let waker = Waker::new()?;
+        poller.add(waker.fd(), KEY_WAKER, true, false)?;
+        let handoff = Arc::new(Handoff {
+            queue: Mutex::new(VecDeque::new()),
+            waker: waker.clone(),
+            load: AtomicUsize::new(0),
+        });
+        Ok((
+            Reactor {
+                poller,
+                waker,
+                handler,
+                idle_timeout: config.idle_timeout,
+                stop,
+                stats,
+                handoff: handoff.clone(),
+                conns: HashMap::new(),
+                next_key: KEY_FIRST_CONN,
+                shard_conns: registry.gauge(&format!("transport.reactor.{index}.connections")),
+                shard_frames: registry.counter(&format!("transport.reactor.{index}.frames")),
+            },
+            handoff,
+        ))
+    }
+
+    pub(crate) fn backend(&self) -> BackendKind {
+        self.poller.backend()
+    }
+
+    pub(crate) fn run(&mut self) {
+        let mut events = Events::new();
+        // Idle eviction runs on a coarse sweep; waits are bounded by the
+        // sweep cadence so eviction happens even on a silent network.
+        let sweep_every = self
+            .idle_timeout
+            .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.poller.wait(&mut events, sweep_every).is_err() {
+                // A failing poller cannot make progress; exit rather
+                // than spin. Shutdown still joins normally.
+                break;
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let now = Instant::now();
+            for ev in events.iter() {
+                match ev.key {
+                    KEY_WAKER => {
+                        self.waker.drain();
+                        self.take_handoffs(now);
+                    }
+                    key => self.conn_ready(key, ev.readable, ev.writable, now),
+                }
+            }
+            if let (Some(every), Some(timeout)) = (sweep_every, self.idle_timeout) {
+                if now.duration_since(last_sweep) >= every {
+                    last_sweep = now;
+                    self.evict_idle(now, timeout);
+                }
+            }
+        }
+        // Drop every connection (sends RST/FIN); nothing to wait for.
+        let keys: Vec<usize> = self.conns.keys().copied().collect();
+        for key in keys {
+            self.close(key, CloseCause::Shutdown);
+        }
+        // Sockets still queued never registered; account them too.
+        self.handoff.drain_unregistered(&self.stats);
+    }
+
+    /// Registers every socket the accept thread queued since the last
+    /// wake, and drives each once — the peer's first request often
+    /// arrived before registration.
+    fn take_handoffs(&mut self, now: Instant) {
+        while let Some((stream, id)) = self.handoff.pop() {
+            if stream.set_nonblocking(true).is_err() {
+                self.abandon(id);
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let key = self.next_key;
+            self.next_key += 1;
+            if self
+                .poller
+                .add(stream.as_raw_fd(), key, true, false)
+                .is_err()
+            {
+                self.abandon(id);
+                continue;
+            }
+            self.shard_conns.inc();
+            self.conns.insert(key, Conn::new(stream, id, now));
+            self.conn_ready(key, true, false, now);
+        }
+    }
+
+    /// A handed-off socket that never made it into the poller.
+    fn abandon(&mut self, id: u64) {
+        self.handoff.load.fetch_sub(1, Ordering::Relaxed);
+        self.stats.closed(id, CloseCause::Io);
+    }
+
+    /// Drives one connection's state machine for one readiness event.
+    fn conn_ready(&mut self, key: usize, readable: bool, writable: bool, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return; // already closed this iteration
+        };
+        let verdict = match drive(
+            &self.handler,
+            &self.stats,
+            &self.shard_frames,
+            conn,
+            readable,
+            writable,
+            now,
+        ) {
+            Ok(()) if !sync_interest(&self.poller, key, conn) => Err(CloseCause::Io),
+            v => v,
+        };
+        if let Err(cause) = verdict {
+            self.close(key, cause);
+        }
+    }
+
+    fn evict_idle(&mut self, now: Instant, timeout: Duration) {
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| now.duration_since(c.last_activity) > timeout)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in expired {
+            self.close(key, CloseCause::Idle);
+        }
+    }
+
+    fn close(&mut self, key: usize, cause: CloseCause) {
+        if let Some(conn) = self.conns.remove(&key) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.shard_conns.dec();
+            self.handoff.load.fetch_sub(1, Ordering::Relaxed);
+            self.stats.closed(conn.id, cause);
+        }
+    }
+}
+
+/// Runs reads, frame handling, and writes for one event. Returns the
+/// [`CloseCause`] when the connection must be dropped (EOF, error,
+/// protocol violation).
+fn drive(
+    handler: &Handler,
+    stats: &SharedStats,
+    frames: &Counter,
+    conn: &mut Conn,
+    readable: bool,
+    writable: bool,
+    now: Instant,
+) -> Result<(), CloseCause> {
+    if readable {
+        let mut chunk = [0u8; CHUNK];
+        loop {
+            if conn.out.len() >= HIGH_WATER {
+                break; // backpressure: drain before reading more
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => return Err(CloseCause::Peer),
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = now;
+                    process_frames(handler, stats, frames, conn)?;
+                    if n < CHUNK {
+                        // A short read means the kernel buffer is
+                        // drained *right now*; skip the guaranteed
+                        // WouldBlock read. Bytes arriving later
+                        // re-trigger the level-triggered poller.
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(CloseCause::Io),
+            }
+        }
+    }
+    if (writable || !conn.out.is_empty()) && !flush(conn, now) {
+        return Err(CloseCause::Io);
+    }
+    // A flush may have drained below the high-water mark: resume
+    // decoding frames that backpressure deferred.
+    if conn.out.len() < HIGH_WATER {
+        conn.backpressured = false;
+    }
+    process_frames(handler, stats, frames, conn)?;
+    if flush(conn, now) {
+        Ok(())
+    } else {
+        Err(CloseCause::Io)
+    }
+}
+
+/// Decodes and handles every complete frame in `inbuf`, subject to the
+/// write high-water mark. Fails with [`CloseCause::Framing`] on a
+/// framing violation.
+fn process_frames(
+    handler: &Handler,
+    stats: &SharedStats,
+    frames: &Counter,
+    conn: &mut Conn,
+) -> Result<(), CloseCause> {
+    while conn.out.len() < HIGH_WATER {
+        match deframe(&mut conn.inbuf) {
+            Ok(Some(payload)) => {
+                // Count before dispatch so a STATS snapshot taken by the
+                // handler includes the frame that requested it.
+                frames.inc();
+                let reply = match Request::decode(payload) {
+                    Ok(req) => handler(req),
+                    Err(e) => Reply::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                // Zero-copy: the reply frames straight into the
+                // connection's reusable write buffer.
+                frame_reply_into(&reply, &mut conn.out);
+            }
+            Ok(None) => break,
+            Err(_) => return Err(CloseCause::Framing), // oversized/absurd frame: drop
+        }
+    }
+    // Trace the high-water crossing once; the flag resets when a flush
+    // drains the queue back below the mark.
+    if conn.out.len() >= HIGH_WATER && !conn.backpressured {
+        conn.backpressured = true;
+        stats.backpressured(conn.id);
+    }
+    Ok(())
+}
+
+/// Writes queued replies until done or the kernel would block.
+fn flush(conn: &mut Conn, now: Instant) -> bool {
+    while !conn.out.is_empty() {
+        match conn.stream.write(&conn.out) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.out.advance(n);
+                conn.last_activity = now;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Re-registers the connection when its desired interest changed:
+/// readable unless backpressured, writable while replies are queued.
+fn sync_interest(poller: &Poller, key: usize, conn: &mut Conn) -> bool {
+    let want_read = conn.out.len() < HIGH_WATER;
+    let want_write = !conn.out.is_empty();
+    if (want_read, want_write) != (conn.want_read, conn.want_write) {
+        if poller
+            .modify(conn.stream.as_raw_fd(), key, want_read, want_write)
+            .is_err()
+        {
+            return false;
+        }
+        conn.want_read = want_read;
+        conn.want_write = want_write;
+    }
+    true
+}

@@ -1,11 +1,12 @@
 //! A real TCP transport (std::net) for the Communix protocol, in two
 //! server flavors sharing one wire format and one blocking client:
 //!
-//! * **event-driven** (the default, [`TcpServer::bind`]) — a single
-//!   readiness loop of nonblocking sockets (epoll, `poll(2)` fallback)
-//!   driving per-connection state machines; see [`crate::event`]. This
-//!   is the C10K path: one server process holds tens of thousands of
-//!   concurrent connections.
+//! * **event-driven** (the default, [`TcpServer::bind`]) — N reactor
+//!   shards of nonblocking sockets (epoll, `poll(2)` fallback) driving
+//!   per-connection state machines, fed by a dedicated accept thread;
+//!   see [`crate::event`] and [`crate::reactor`]. This is the C10K
+//!   path: one server process holds tens of thousands of concurrent
+//!   connections, spread across [`TcpServerConfig::reactors`] threads.
 //! * **thread-per-connection** ([`TcpServer::threaded`]) — the
 //!   pre-event-loop baseline, kept for comparison benchmarks. Blocking
 //!   reads/writes run under a short socket timeout so connection
@@ -60,6 +61,12 @@ pub struct TcpServerConfig {
     /// fresh private registry). Pass the server's registry so one
     /// `STATS` snapshot covers both the transport and the request path.
     pub registry: Option<Arc<Registry>>,
+    /// Reactor shards for the event transport: each shard is one
+    /// thread owning a poller and a disjoint set of connections, fed by
+    /// a dedicated accept thread (least-loaded placement). `0` (the
+    /// default) sizes to the machine — `available_parallelism` clamped
+    /// to at most 4. Ignored by the threaded transport.
+    pub reactors: usize,
 }
 
 impl Default for TcpServerConfig {
@@ -68,6 +75,7 @@ impl Default for TcpServerConfig {
             idle_timeout: Some(Duration::from_secs(30)),
             force_poll_backend: false,
             registry: None,
+            reactors: 0,
         }
     }
 }
@@ -191,6 +199,9 @@ impl SharedStats {
 pub struct TcpServer {
     addr: SocketAddr,
     transport: &'static str,
+    /// Reactor shards serving connections (0 for the threaded
+    /// transport, which has no reactors).
+    reactors: usize,
     registry: Arc<Registry>,
     stats: Arc<SharedStats>,
     inner: Inner,
@@ -238,11 +249,13 @@ impl TcpServer {
                 .clone()
                 .unwrap_or_else(|| Arc::new(Registry::new()));
             let stats = Arc::new(SharedStats::resolve(&registry));
-            match crate::event::spawn(listener, handler.clone(), &config, stats.clone()) {
-                Ok((handle, transport)) => {
+            match crate::event::spawn(listener, handler.clone(), &config, stats.clone(), &registry)
+            {
+                Ok((handle, transport, reactors)) => {
                     return Ok(TcpServer {
                         addr: local,
                         transport,
+                        reactors,
                         registry,
                         stats,
                         inner: Inner::Event(handle),
@@ -321,6 +334,7 @@ impl TcpServer {
         Ok(TcpServer {
             addr: local,
             transport: "threaded",
+            reactors: 0,
             registry,
             stats,
             inner: Inner::Threaded {
@@ -339,6 +353,13 @@ impl TcpServer {
     /// `"threaded"`.
     pub fn transport(&self) -> &'static str {
         self.transport
+    }
+
+    /// Reactor shards serving connections: the resolved value of
+    /// [`TcpServerConfig::reactors`] for the event transport, `0` for
+    /// the threaded transport (it has no reactors).
+    pub fn reactors(&self) -> usize {
+        self.reactors
     }
 
     /// Connection counter snapshot.
@@ -638,6 +659,15 @@ mod tests {
                 },
             )
             .expect("bind event-poll"),
+            TcpServer::bind_with(
+                "127.0.0.1:0",
+                echo_handler(),
+                TcpServerConfig {
+                    reactors: 2,
+                    ..TcpServerConfig::default()
+                },
+            )
+            .expect("bind event 2-shard"),
             TcpServer::threaded("127.0.0.1:0", echo_handler()).expect("bind threaded"),
         ]
     }
@@ -828,6 +858,29 @@ mod tests {
                     server.transport()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn reactor_knob_is_honored_and_threaded_has_none() {
+        let server = TcpServer::bind_with(
+            "127.0.0.1:0",
+            echo_handler(),
+            TcpServerConfig {
+                reactors: 3,
+                ..TcpServerConfig::default()
+            },
+        )
+        .unwrap();
+        if cfg!(unix) {
+            assert_eq!(server.reactors(), 3);
+        }
+        let threaded = TcpServer::threaded("127.0.0.1:0", echo_handler()).unwrap();
+        assert_eq!(threaded.reactors(), 0);
+        // The default resolves to at least one shard on unix.
+        let auto = echo_server();
+        if cfg!(unix) {
+            assert!(auto.reactors() >= 1, "got {}", auto.reactors());
         }
     }
 

@@ -49,6 +49,12 @@ fn all_transports(idle_timeout: Option<Duration>) -> Vec<TcpServer> {
             force_poll_backend: true,
             ..cfg.clone()
         }),
+        // Multi-reactor flavor: every invariant below must hold
+        // regardless of which shard owns a connection.
+        event_server(TcpServerConfig {
+            reactors: 3,
+            ..cfg.clone()
+        }),
         TcpServer::threaded_with("127.0.0.1:0", echo_handler(), cfg).unwrap(),
     ]
 }

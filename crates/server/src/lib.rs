@@ -14,4 +14,4 @@ mod transport;
 pub use auth::IdAuthority;
 pub use db::{ShardStats, SignatureDb, DEFAULT_SHARDS};
 pub use server::{CommunixServer, RejectReason, ServerConfig, ServerStats};
-pub use transport::{serve, serve_threaded, serve_with};
+pub use transport::{serve, serve_reactors, serve_threaded, serve_with};

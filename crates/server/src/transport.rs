@@ -56,7 +56,7 @@ pub fn serve(addr: &str, server: Arc<CommunixServer>) -> io::Result<TcpServer> {
 }
 
 /// [`serve`] with explicit transport tunables (idle timeout, poller
-/// backend).
+/// backend, reactor shard count).
 ///
 /// # Errors
 ///
@@ -68,6 +68,31 @@ pub fn serve_with(
 ) -> io::Result<TcpServer> {
     let config = share_registry(&server, config);
     TcpServer::bind_with(addr, handler(server), config)
+}
+
+/// [`serve`] with an explicit reactor shard count: the event transport
+/// spreads connections across `reactors` loop threads (a dedicated
+/// accept thread places each fresh socket on the least-loaded shard).
+/// `0` sizes to the machine. A `STATS` snapshot spans every shard: the
+/// aggregate `transport.*` series plus per-shard
+/// `transport.reactor.<i>.*` gauges and counters.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn serve_reactors(
+    addr: &str,
+    server: Arc<CommunixServer>,
+    reactors: usize,
+) -> io::Result<TcpServer> {
+    serve_with(
+        addr,
+        server,
+        TcpServerConfig {
+            reactors,
+            ..TcpServerConfig::default()
+        },
+    )
 }
 
 /// Serves over the thread-per-connection baseline transport.
@@ -139,6 +164,46 @@ mod tests {
         assert_eq!(find("counters.transport.accepted"), 1.0);
         assert_eq!(find("gauges.transport.connections.current"), 1.0);
         assert!(find("histograms.server.latency.get.count") == 1.0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stats_snapshot_spans_every_reactor_shard() {
+        let srv = communix();
+        let tcp = serve_reactors("127.0.0.1:0", srv, 4).unwrap();
+        assert_eq!(tcp.reactors(), 4);
+        // Several live connections so the accept thread has something to
+        // spread; each makes a call so every shard's loop actually ran.
+        let mut clients: Vec<TcpClient> = (0..6)
+            .map(|_| TcpClient::connect(tcp.addr()).unwrap())
+            .collect();
+        for c in &mut clients {
+            c.call(&Request::Get { from: 0 }).unwrap();
+        }
+        let Reply::Stats { json } = clients[0].call(&Request::Stats).unwrap() else {
+            panic!("expected Stats reply");
+        };
+        let nums = communix_telemetry::json::flatten_numbers(&json).expect("valid json");
+        let find = |path: &str| {
+            nums.iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing {path} in {json}"))
+        };
+        let per_shard: f64 = (0..4)
+            .map(|i| find(&format!("gauges.transport.reactor.{i}.connections.current")))
+            .sum();
+        assert_eq!(per_shard, find("gauges.transport.connections.current"));
+        assert_eq!(per_shard, 6.0);
+        assert_eq!(
+            find("counters.transport.accept_handoffs"),
+            find("counters.transport.accepted")
+        );
+        let shard_frames: f64 = (0..4)
+            .map(|i| find(&format!("counters.transport.reactor.{i}.frames")))
+            .sum();
+        // 6 GETs + 1 STATS, every one decoded on some shard.
+        assert_eq!(shard_frames, 7.0);
     }
 
     #[test]
