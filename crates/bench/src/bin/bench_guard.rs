@@ -77,6 +77,42 @@ fn sharding_inversion(current: &[(String, f64)]) -> Option<(f64, f64)> {
     (event < threaded).then_some((event, threaded))
 }
 
+/// The durability-cost check: with the WAL on, the store should stay
+/// within `factor`× of the in-memory throughput at every swept
+/// connection count (the group-commit design bounds fsyncs per second,
+/// not per append). Compares each
+/// `connections_vs_throughput.event_durable_N.ops_per_sec` in the fresh
+/// artifact against its `event_add_N` sibling *in the same artifact* —
+/// the identical ADD workload minus the WAL, from the same run on the
+/// same machine, so the comparison is immune both to runner noise and
+/// to read-vs-write workload skew. Returns
+/// `(conns, durable_ops, memory_ops)` for every pair
+/// where the durable store fell more than `factor`× behind; pairs
+/// missing either side are skipped (artifacts predating the durability
+/// series produce no findings).
+fn durability_cost(current: &[(String, f64)], factor: f64) -> Vec<(String, f64, f64)> {
+    let mut slow = Vec::new();
+    for (path, durable_ops) in current {
+        let Some(rest) = path.strip_prefix("connections_vs_throughput.event_durable_") else {
+            continue;
+        };
+        let Some(conns) = rest.strip_suffix(".ops_per_sec") else {
+            continue;
+        };
+        let memory_path = format!("connections_vs_throughput.event_add_{conns}.ops_per_sec");
+        if let Some(memory_ops) = current
+            .iter()
+            .find(|(p, _)| *p == memory_path)
+            .map(|(_, v)| *v)
+        {
+            if durable_ops * factor < memory_ops {
+                slow.push((conns.to_string(), *durable_ops, memory_ops));
+            }
+        }
+    }
+    slow
+}
+
 fn main() {
     let current_path = arg_value("--current").expect("--current <fresh artifact path>");
     let baseline_path =
@@ -146,6 +182,28 @@ fn main() {
         println!(
             "::warning::bench_guard: sharded event transport slower than thread-per-connection \
              at 512 conns: event_r2_512 {event:.0} ops/s < threaded_512 {threaded:.0} ops/s"
+        );
+    }
+
+    if current.iter().any(|(p, _)| p.contains(".event_durable_")) {
+        let gaps = durability_cost(&current, factor);
+        for (conns, durable, memory) in &gaps {
+            println!(
+                "::warning::bench_guard: durable store more than {factor}× behind in-memory at \
+                 {conns} conns: event_durable_{conns} {durable:.0} ops/s vs event_add_{conns} \
+                 {memory:.0} ops/s"
+            );
+        }
+        if gaps.is_empty() {
+            println!(
+                "bench_guard: durable store within {factor}× of in-memory at every swept \
+                 connection count"
+            );
+        }
+    } else {
+        println!(
+            "bench_guard: no durability series in {current_path} (event_durable_* points absent) \
+             — WAL-cost check skipped"
         );
     }
 
@@ -245,6 +303,57 @@ mod tests {
         // Artifacts predating the reactors axis never warn.
         let old = kv(&[("connections_vs_throughput.threaded_512.ops_per_sec", 8.0e4)]);
         assert_eq!(sharding_inversion(&old), None);
+    }
+
+    #[test]
+    fn durability_cost_flags_only_a_real_gap() {
+        // Durable at 2.1× behind its in-memory ADD twin: past the 2×
+        // allowance. The read-workload `event_512` point is ignored.
+        let gapped = kv(&[
+            ("connections_vs_throughput.event_512.ops_per_sec", 9.9e5),
+            ("connections_vs_throughput.event_add_512.ops_per_sec", 2.1e5),
+            (
+                "connections_vs_throughput.event_durable_512.ops_per_sec",
+                1.0e5,
+            ),
+        ]);
+        let slow = durability_cost(&gapped, 2.0);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0], ("512".to_string(), 1.0e5, 2.1e5));
+
+        // Durable at 1.5× behind: the group-commit tax, within budget.
+        let healthy = kv(&[
+            ("connections_vs_throughput.event_add_512.ops_per_sec", 1.5e5),
+            (
+                "connections_vs_throughput.event_durable_512.ops_per_sec",
+                1.0e5,
+            ),
+        ]);
+        assert!(durability_cost(&healthy, 2.0).is_empty());
+    }
+
+    #[test]
+    fn durability_cost_ignores_unpaired_points() {
+        // No `event_add` sibling at 2048 (a same-count read point does
+        // not pair), and an artifact with no durable series at all:
+        // nothing to compare, nothing flagged.
+        let unpaired = kv(&[
+            (
+                "connections_vs_throughput.event_durable_2048.ops_per_sec",
+                1.0e4,
+            ),
+            ("connections_vs_throughput.event_2048.ops_per_sec", 9.0e5),
+            ("connections_vs_throughput.event_add_512.ops_per_sec", 2.0e5),
+        ]);
+        assert!(durability_cost(&unpaired, 2.0).is_empty());
+        let pre_durability = kv(&[("connections_vs_throughput.event_add_512.ops_per_sec", 2.0e5)]);
+        assert!(durability_cost(&pre_durability, 2.0).is_empty());
+        // Non-ops leaves of the durable series never pair either.
+        let latency_only = kv(&[
+            ("connections_vs_throughput.event_durable_512.p99_us", 40.0),
+            ("connections_vs_throughput.event_add_512.ops_per_sec", 2.0e5),
+        ]);
+        assert!(durability_cost(&latency_only, 2.0).is_empty());
     }
 
     #[test]

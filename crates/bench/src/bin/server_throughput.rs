@@ -52,6 +52,20 @@
 //!    them through `ReactorPool`. The JSON records both series plus the
 //!    `efficiency` ratio — the fraction of the thread-per-connection
 //!    aggregate one reactor thread retains.
+//! 6. **durability series + `recovery`** — the C10K sweep gains a
+//!    write-load pair at the contended connection counts: `event_add_{n}`
+//!    drives closed-loop `ADD`s of fresh signatures against the
+//!    in-memory store and `event_durable_{n}` drives the identical load
+//!    against a WAL-journaled store (group commit, default knobs), so
+//!    the artifact records the durability tax on the same machine in the
+//!    same run (`bench_guard` warns past 2×). The `recovery` scenario
+//!    then proves the journal earns its cost: a durable server runs in a
+//!    *child process* (`--serve-durable`), the parent bursts batched
+//!    ADDs at it through the client facade and SIGKILLs it mid-burst,
+//!    restarts it on the same directory, and `sync_delta` must converge
+//!    on every pre-crash-acked signature. The JSON records the acked
+//!    burst, the recovered total, WAL records replayed, whether the tail
+//!    record was torn by the kill, and the store's recovery time.
 //!
 //! Emits `BENCH_server_throughput.json` (override with `--out`) with
 //! ops/sec and p99 latency per scenario, plus the poller backend and fd
@@ -72,11 +86,15 @@
 //! [--smoke] [--out path]`
 
 use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
 use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use communix_bench::{arg_flag, arg_value, banner, fmt_rate, percentile, row, JsonObj};
+use communix_client::{
+    obtain_id, sync_delta, upload_batch, Connect, LocalRepository, SyncError, TcpConnect,
+};
 use communix_clock::{Duration as SimDuration, SystemClock};
 use communix_net::{
     BatchAdd, NicConfig, NodeId, Reply, Request, SimNet, TcpClient, TcpServerConfig,
@@ -538,12 +556,17 @@ const DRIVER_CHILD_CAP: usize = 2048;
 const FD_MARGIN: u64 = 64;
 
 struct SweepPoint {
-    /// JSON key: `threaded_{n}`, `event_{n}`, or `event_r{r}_{n}`.
+    /// JSON key: `threaded_{n}`, `event_{n}`, `event_r{r}_{n}`,
+    /// `event_add_{n}`, or `event_durable_{n}`.
     name: String,
     transport: String,
     /// Reactor shard threads (0 for the threaded baseline).
     reactors: usize,
     connections: usize,
+    /// `issue_id` for the classic sweep; `add` for the durability pair.
+    workload: &'static str,
+    /// Whether the server journaled every ADD through the WAL.
+    durable: bool,
     ops_per_sec: f64,
     p99_us: f64,
     server_lat_us: (f64, f64, f64),
@@ -570,12 +593,30 @@ fn connect_with_retry(addr: std::net::SocketAddr) -> TcpClient {
 }
 
 /// Child (`--drive`) mode: hold `conns` open connections, print READY,
-/// and once the parent answers GO on stdin, round-robin blocking
-/// `ISSUE_ID` calls for `secs` of wall clock. Reports one RESULT line.
-fn drive_connections(addr: &str, conns: usize, secs: f64) {
+/// and once the parent answers GO on stdin, round-robin blocking calls
+/// for `secs` of wall clock — `ISSUE_ID` by default, or (`--adds`) an
+/// `ADD` of a fresh signature per call, the write load the durability
+/// series measures. Reports one RESULT line.
+fn drive_connections(addr: &str, conns: usize, secs: f64, adds: bool, user_base: u64) {
     let _ = polling::raise_fd_limit();
     let addr: std::net::SocketAddr = addr.parse().expect("server address");
     let mut clients: Vec<TcpClient> = (0..conns).map(|_| connect_with_retry(addr)).collect();
+
+    // The ADD drive sends each connection's signatures under its own
+    // sender id (the parent raises the server's daily limit for these
+    // points) from its own deterministic signature stream.
+    let mut senders: Vec<[u8; 16]> = Vec::new();
+    let mut gens: Vec<SigGen> = Vec::new();
+    if adds {
+        for (i, client) in clients.iter_mut().enumerate() {
+            let user = user_base + i as u64;
+            match client.call(&Request::IssueId { user }) {
+                Ok(Reply::Id { id }) => senders.push(id),
+                other => panic!("driver id issuance failed: {other:?}"),
+            }
+            gens.push(SigGen::new(0xADD5 ^ user));
+        }
+    }
 
     println!("READY");
     let mut go = String::new();
@@ -593,9 +634,20 @@ fn drive_connections(addr: &str, conns: usize, secs: f64) {
                 break 'drive;
             }
             let t0 = Instant::now();
-            match client.call(&Request::IssueId { user: i as u64 }) {
-                Ok(Reply::Id { .. }) => {}
-                other => panic!("driver call failed: {other:?}"),
+            if adds {
+                let req = Request::Add {
+                    sender: senders[i],
+                    sig_text: gens[i].random_signature().to_string(),
+                };
+                match client.call(&req) {
+                    Ok(Reply::AddAck { .. }) => {}
+                    other => panic!("driver ADD failed: {other:?}"),
+                }
+            } else {
+                match client.call(&Request::IssueId { user: i as u64 }) {
+                    Ok(Reply::Id { .. }) => {}
+                    other => panic!("driver call failed: {other:?}"),
+                }
             }
             lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
             ops += 1;
@@ -613,12 +665,19 @@ fn drive_connections(addr: &str, conns: usize, secs: f64) {
 /// held at once, then measure a closed-loop drive window. `reactors`
 /// shards the event loop (0 only for the threaded baseline); the point
 /// is named `event_{n}` at one reactor — the pre-sharding series the
-/// baseline diff tracks — and `event_r{r}_{n}` beyond it.
-fn connections_point(event: bool, reactors: usize, conns: usize, secs: f64) -> SweepPoint {
-    let server = Arc::new(CommunixServer::new(
-        ServerConfig::default(),
-        Arc::new(SystemClock::new()),
-    ));
+/// baseline diff tracks — and `event_r{r}_{n}` beyond it. `adds`
+/// switches the drive from `ISSUE_ID` to fresh-signature `ADD`s
+/// (`event_add_{n}`), and `durable` journals that same write load
+/// through a WAL-backed store in a scratch directory
+/// (`event_durable_{n}`) — the pair whose ratio is the durability tax.
+fn connections_point(
+    event: bool,
+    reactors: usize,
+    conns: usize,
+    secs: f64,
+    adds: bool,
+    durable: bool,
+) -> SweepPoint {
     // Long idle timeout: connections sit quiet while later children are
     // still dialing, and must not be evicted as slow-loris suspects.
     let cfg = TcpServerConfig {
@@ -626,31 +685,54 @@ fn connections_point(event: bool, reactors: usize, conns: usize, secs: f64) -> S
         reactors,
         ..TcpServerConfig::default()
     };
-    let mut tcp = if event {
-        communix_server::serve_with("127.0.0.1:0", server.clone(), cfg)
-    } else {
-        communix_server::serve_threaded("127.0.0.1:0", server.clone(), cfg)
+    let mut builder = communix_server::builder().tcp_config(cfg);
+    if !event {
+        builder = builder.threaded();
     }
-    .expect("bind sweep server");
+    if adds {
+        // Every connection streams signatures under one sender id; the
+        // paper's 10-per-day budget is a policy under test elsewhere,
+        // not here.
+        builder = builder.daily_limit(usize::MAX >> 1);
+    }
+    let durable_dir = durable.then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "communix-bench-durable-{}-{conns}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    if let Some(dir) = &durable_dir {
+        builder = builder.durable(dir);
+    }
+    let (server, mut tcp) = builder.serve("127.0.0.1:0").expect("bind sweep server");
     let transport = tcp.transport().to_string();
     let addr = tcp.addr().to_string();
     let exe = std::env::current_exe().expect("current exe");
 
     let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
     let mut left = conns;
+    let mut ordinal = 0usize;
     while left > 0 {
         let take = left.min(DRIVER_CHILD_CAP);
         left -= take;
-        let mut child = Command::new(&exe)
-            .args(["--drive", &addr])
+        let mut cmd = Command::new(&exe);
+        cmd.args(["--drive", &addr])
             .args(["--conns", &take.to_string()])
-            .args(["--secs", &format!("{secs}")])
+            .args(["--secs", &format!("{secs}")]);
+        if adds {
+            cmd.arg("--adds")
+                .args(["--user-base", &(ordinal * DRIVER_CHILD_CAP).to_string()]);
+        }
+        let mut child = cmd
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .spawn()
             .expect("spawn driver child");
         let out = BufReader::new(child.stdout.take().expect("child stdout"));
         children.push((child, out));
+        ordinal += 1;
     }
 
     for (_, out) in &mut children {
@@ -708,16 +790,24 @@ fn connections_point(event: bool, reactors: usize, conns: usize, secs: f64) -> S
     let server_lat_us = server_latency_us(&server);
     let snapshot_text = server.telemetry_snapshot().render_text();
     tcp.shutdown();
-    let name = match (event, reactors) {
-        (false, _) => format!("threaded_{conns}"),
-        (true, 1) => format!("event_{conns}"),
-        (true, r) => format!("event_r{r}_{conns}"),
+    drop(server); // final WAL sync before the scratch dir goes away
+    if let Some(dir) = &durable_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let name = match (event, reactors, adds, durable) {
+        (false, ..) => format!("threaded_{conns}"),
+        (true, _, true, true) => format!("event_durable_{conns}"),
+        (true, _, true, false) => format!("event_add_{conns}"),
+        (true, 1, ..) => format!("event_{conns}"),
+        (true, r, ..) => format!("event_r{r}_{conns}"),
     };
     SweepPoint {
         name,
         transport,
         reactors: if event { reactors } else { 0 },
         connections: conns,
+        workload: if adds { "add" } else { "issue_id" },
+        durable,
         ops_per_sec,
         p99_us,
         server_lat_us,
@@ -981,7 +1071,210 @@ fn client_reactor_sweep(conns: usize, window: usize, secs: f64) -> ClientReactor
     }
 }
 
+// ---------------------------------------------------------------------
+// recovery — SIGKILL a durable server mid-burst, restart, converge.
+// ---------------------------------------------------------------------
+
+/// Child (`--serve-durable <dir>`) mode: open (recovering) a durable
+/// server on `dir`, bind an ephemeral port, report one line —
+///
+/// `ADDR <addr> sigs=<n> wal_records=<n> snap_sigs=<n> torn=<0|1> recovery_ms=<f>`
+///
+/// — and park until the parent kills the process. The recovery numbers
+/// are measured around the store open itself, so the parent's figure
+/// excludes process spawn and bind time.
+fn serve_durable(dir: &str) {
+    let t0 = Instant::now();
+    let server = communix_server::builder()
+        .daily_limit(usize::MAX >> 1)
+        .durable(dir)
+        .build()
+        .expect("open durable store");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let r = server.store().recovery();
+    let (_, tcp) = communix_server::builder()
+        .attach(server.clone())
+        .serve("127.0.0.1:0")
+        .expect("bind durable server");
+    println!(
+        "ADDR {} sigs={} wal_records={} snap_sigs={} torn={} recovery_ms={recovery_ms:.2}",
+        tcp.addr(),
+        server.db().len(),
+        r.wal_records,
+        r.snapshot_sigs,
+        u8::from(r.torn_tail),
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// What a `--serve-durable` child reported on boot.
+struct DurableChild {
+    child: Child,
+    addr: std::net::SocketAddr,
+    wal_records: u64,
+    snapshot_sigs: u64,
+    torn_tail: bool,
+    recovery_ms: f64,
+}
+
+fn spawn_durable_child(exe: &Path, dir: &Path) -> DurableChild {
+    let mut child = Command::new(exe)
+        .args(["--serve-durable", &dir.display().to_string()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn durable server child");
+    let mut out = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    out.read_line(&mut line).expect("durable child ADDR line");
+    let mut tokens = line.split_whitespace();
+    assert_eq!(
+        tokens.next(),
+        Some("ADDR"),
+        "durable child handshake: {line:?}"
+    );
+    let addr = tokens
+        .next()
+        .expect("address token")
+        .parse()
+        .expect("durable server address");
+    let (mut wal_records, mut snapshot_sigs, mut torn_tail, mut recovery_ms) = (0, 0, false, 0.0);
+    for tok in tokens {
+        if let Some(v) = tok.strip_prefix("wal_records=") {
+            wal_records = v.parse().expect("wal_records");
+        } else if let Some(v) = tok.strip_prefix("snap_sigs=") {
+            snapshot_sigs = v.parse().expect("snap_sigs");
+        } else if let Some(v) = tok.strip_prefix("torn=") {
+            torn_tail = v == "1";
+        } else if let Some(v) = tok.strip_prefix("recovery_ms=") {
+            recovery_ms = v.parse().expect("recovery_ms");
+        }
+    }
+    DurableChild {
+        child,
+        addr,
+        wal_records,
+        snapshot_sigs,
+        torn_tail,
+        recovery_ms,
+    }
+}
+
+/// Everything the restarted server serves, drained through the session
+/// factory the daemon would use (`impl Connect`, dialing fresh).
+fn drain_server(connect: &impl Connect) -> LocalRepository {
+    let mut session = connect.connect().expect("dial restarted server");
+    let mut repo = LocalRepository::in_memory();
+    sync_delta(&mut session, &mut repo, 0).expect("sync_delta against restarted server");
+    repo
+}
+
+struct RecoveryResult {
+    burst_acked: usize,
+    recovered_total: usize,
+    wal_records: u64,
+    snapshot_sigs: u64,
+    torn_tail: bool,
+    recovery_ms: f64,
+}
+
+/// The crash-restart scenario: burst batched ADDs at a durable server
+/// running in a child process, SIGKILL it mid-burst (armed once
+/// `kill_after` signatures are acked, fired while further batches are
+/// in flight), restart on the same directory, and prove via `sync_delta`
+/// that every acked signature survived. Panics — loudly failing the
+/// bench — if any acked signature is missing after recovery.
+fn crash_restart_recovery(kill_after: usize) -> RecoveryResult {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = std::env::temp_dir().join(format!("communix-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let first = spawn_durable_child(&exe, &dir);
+    assert_eq!(first.wal_records, 0, "scratch dir must start empty");
+    let connect = TcpConnect::new(first.addr);
+    let mut session = connect.connect().expect("dial durable server");
+    let sender = obtain_id(&mut session, 7).expect("issue sender id");
+
+    // The killer fires the moment it is armed; the burst loop below
+    // keeps batches in flight until one of them hits the dead socket.
+    let (arm_tx, arm_rx) = std::sync::mpsc::channel::<()>();
+    let killer = std::thread::spawn(move || {
+        let mut child = first.child;
+        let _ = arm_rx.recv();
+        let _ = child.kill();
+        let _ = child.wait();
+    });
+
+    let mut gen = SigGen::new(0xD15C);
+    let mut acked: Vec<String> = Vec::new();
+    let mut armed = false;
+    loop {
+        let texts: Vec<String> = (0..32)
+            .map(|_| gen.random_signature().to_string())
+            .collect();
+        let adds: Vec<([u8; 16], String)> = texts.iter().map(|t| (sender, t.clone())).collect();
+        match upload_batch(&mut session, adds) {
+            Ok(results) => {
+                for (result, text) in results.iter().zip(texts) {
+                    if result.accepted {
+                        acked.push(text);
+                    }
+                }
+                if !armed && acked.len() >= kill_after {
+                    let _ = arm_tx.send(());
+                    armed = true;
+                }
+            }
+            // The expected crash: the socket died under a batch.
+            Err(SyncError::Transport(_)) => break,
+            Err(other) => panic!("burst failed before the kill: {other}"),
+        }
+        assert!(
+            acked.len() < kill_after.saturating_mul(1000),
+            "server survived the kill implausibly long"
+        );
+    }
+    killer.join().expect("killer thread");
+    assert!(armed, "burst ended before the kill was armed");
+    assert!(
+        acked.len() >= kill_after,
+        "kill landed before the armed threshold"
+    );
+
+    // Restart on the same directory: recovery is snapshot + WAL tail.
+    let second = spawn_durable_child(&exe, &dir);
+    let repo = drain_server(&TcpConnect::new(second.addr));
+    let have: std::collections::HashSet<&str> =
+        (0..repo.len()).filter_map(|i| repo.sig(i)).collect();
+    let missing = acked.iter().filter(|t| !have.contains(t.as_str())).count();
+    assert_eq!(
+        missing,
+        0,
+        "{missing} of {} acked signatures lost across the crash",
+        acked.len()
+    );
+
+    let mut child = second.child;
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RecoveryResult {
+        burst_acked: acked.len(),
+        recovered_total: repo.len(),
+        wal_records: second.wal_records,
+        snapshot_sigs: second.snapshot_sigs,
+        torn_tail: second.torn_tail,
+        recovery_ms: second.recovery_ms,
+    }
+}
+
 fn main() {
+    if let Some(dir) = arg_value("--serve-durable") {
+        serve_durable(&dir);
+        return;
+    }
     if let Some(addr) = arg_value("--drive") {
         let conns: usize = arg_value("--conns")
             .expect("--conns")
@@ -991,7 +1284,11 @@ fn main() {
             .expect("--secs")
             .parse()
             .expect("drive seconds");
-        drive_connections(&addr, conns, secs);
+        let adds = arg_flag("--adds");
+        let user_base: u64 = arg_value("--user-base")
+            .map(|v| v.parse().expect("user base"))
+            .unwrap_or(0);
+        drive_connections(&addr, conns, secs, adds, user_base);
         return;
     }
 
@@ -1082,23 +1379,38 @@ fn main() {
     } else {
         &[512, 2048, 10240]
     };
-    let mut points: Vec<(bool, usize, usize)> = threaded_conns
+    // The durability axis: the same event transport under an ADD (write)
+    // workload, once purely in memory and once with the WAL fsyncing
+    // behind it. Same run, same machine — the pair is bench_guard's
+    // 2× WAL-cost check.
+    let durable_conns: &[usize] = if smoke { &[512] } else { &[512, 2048] };
+    let mut points: Vec<(bool, usize, usize, bool, bool)> = threaded_conns
         .iter()
-        .map(|&n| (false, 0, n))
-        .chain(event_conns.iter().map(|&n| (true, 1, n)))
+        .map(|&n| (false, 0, n, false, false))
+        .chain(event_conns.iter().map(|&n| (true, 1, n, false, false)))
         .collect();
     for r in [2usize, 4] {
-        points.extend(multi_reactor_conns.iter().map(|&n| (true, r, n)));
+        points.extend(
+            multi_reactor_conns
+                .iter()
+                .map(|&n| (true, r, n, false, false)),
+        );
+    }
+    for &n in durable_conns {
+        points.push((true, 1, n, true, false));
+        points.push((true, 1, n, true, true));
     }
 
     println!(
-        "\nconnections_vs_throughput ({drive_secs}s closed-loop ISSUE_ID per point, \
-         drivers in child processes, fd limit {fd_soft}/{fd_hard}):"
+        "\nconnections_vs_throughput ({drive_secs}s closed-loop per point, ISSUE_ID unless \
+         noted, drivers in child processes, fd limit {fd_soft}/{fd_hard}):"
     );
     row(&[
         "transport",
         "reactors",
         "conns",
+        "workload",
+        "durable",
         "ops/s",
         "p99 µs",
         "srv p99 µs",
@@ -1111,14 +1423,14 @@ fn main() {
     let mut backend = "unavailable".to_string();
     let mut last_snapshot = None;
     let mut sweep_points: Vec<SweepPoint> = Vec::new();
-    for (event, reactors, conns) in points {
+    for (event, reactors, conns, adds, durable) in points {
         if conns as u64 + FD_MARGIN > fd_soft {
             let label = if event { "event" } else { "threaded" };
             println!("{label}_{conns}: SKIPPED — needs > {fd_soft} fds in the server process");
             continue;
         }
-        let mut p = connections_point(event, reactors, conns, drive_secs);
-        if event {
+        let mut p = connections_point(event, reactors, conns, drive_secs, adds, durable);
+        if event && !adds {
             backend = p.transport.clone();
         }
         row(&[
@@ -1129,6 +1441,8 @@ fn main() {
                 "-".into()
             }),
             &p.connections.to_string(),
+            p.workload,
+            if p.durable { "wal" } else { "-" },
             &fmt_rate(p.ops_per_sec),
             &format!("{:.1}", p.p99_us),
             &format!("{:.1}", p.server_lat_us.2),
@@ -1140,6 +1454,8 @@ fn main() {
                 .str("transport", &p.transport)
                 .int("reactors", p.reactors as u64)
                 .int("connections", p.connections as u64)
+                .str("workload", p.workload)
+                .int("durable", u64::from(p.durable))
                 .num("ops_per_sec", p.ops_per_sec)
                 .num("p99_us", p.p99_us)
                 .num("server_p50_us", p.server_lat_us.0)
@@ -1150,6 +1466,29 @@ fn main() {
         last_snapshot = Some(std::mem::take(&mut p.snapshot_text));
         sweep_points.push(p);
     }
+
+    // Crash-restart recovery: prove the durable store's promise end to
+    // end — SIGKILL mid-burst, restart, converge — and time the restart.
+    let kill_after = if smoke { 512 } else { 4096 };
+    println!("\nrecovery (SIGKILL durable server mid-burst after {kill_after} acked ADDs):");
+    let recovery = crash_restart_recovery(kill_after);
+    row(&[
+        "acked",
+        "recovered",
+        "wal replayed",
+        "snap sigs",
+        "torn tail",
+        "recovery ms",
+    ]);
+    row(&[
+        &recovery.burst_acked.to_string(),
+        &recovery.recovered_total.to_string(),
+        &recovery.wal_records.to_string(),
+        &recovery.snapshot_sigs.to_string(),
+        if recovery.torn_tail { "yes" } else { "no" },
+        &format!("{:.2}", recovery.recovery_ms),
+    ]);
+    println!("converged: every acked signature present after restart");
 
     // The pipelining sweep: same closed-loop ISSUE_ID drive, but the
     // variable is the client's in-flight window, not the connection
@@ -1258,6 +1597,18 @@ fn main() {
         .obj(
             "connections_vs_throughput",
             sweep_json.str("poller_backend", &backend),
+        )
+        .obj(
+            "recovery",
+            JsonObj::new()
+                .int("kill_after_acked", kill_after as u64)
+                .int("burst_acked", recovery.burst_acked as u64)
+                .int("recovered_total", recovery.recovered_total as u64)
+                .int("wal_records_replayed", recovery.wal_records)
+                .int("snapshot_sigs", recovery.snapshot_sigs)
+                .int("torn_tail", u64::from(recovery.torn_tail))
+                .num("recovery_ms", recovery.recovery_ms)
+                .int("converged", 1),
         );
     #[cfg(unix)]
     let json = {
@@ -1313,14 +1664,16 @@ fn main() {
         let mut md =
             String::from("### connections_vs_throughput — throughput by reactor count\n\n");
         md.push_str(&format!(
-            "{drive_secs}s closed-loop `ISSUE_ID` per point, drivers in child processes \
-             (`-` reactors = thread-per-connection baseline).\n\n\
-             | point | transport | reactors | conns | ops/s | p99 µs | srv p99 µs |\n\
-             |---|---|---:|---:|---:|---:|---:|\n"
+            "{drive_secs}s closed-loop per point (`issue_id` reads or `add` writes), drivers \
+             in child processes (`-` reactors = thread-per-connection baseline; `wal` = \
+             durable store fsyncing behind the same load).\n\n\
+             | point | transport | reactors | conns | workload | durable | ops/s | p99 µs | \
+             srv p99 µs |\n\
+             |---|---|---:|---:|---|---|---:|---:|---:|\n"
         ));
         for p in &sweep_points {
             md.push_str(&format!(
-                "| `{}` | {} | {} | {} | {} | {:.1} | {:.1} |\n",
+                "| `{}` | {} | {} | {} | {} | {} | {} | {:.1} | {:.1} |\n",
                 p.name,
                 p.transport,
                 if p.reactors == 0 {
@@ -1329,11 +1682,28 @@ fn main() {
                     p.reactors.to_string()
                 },
                 p.connections,
+                p.workload,
+                if p.durable { "wal" } else { "-" },
                 fmt_rate(p.ops_per_sec),
                 p.p99_us,
                 p.server_lat_us.2,
             ));
         }
+        md.push_str(&format!(
+            "\n### recovery — crash-restart convergence of the durable store\n\n\
+             SIGKILL mid-burst after {kill_after} acked ADDs, restart on the same \
+             directory, `sync_delta` until every acked signature reappears.\n\n\
+             | acked | recovered | wal replayed | snapshot sigs | torn tail | recovery ms | \
+             converged |\n\
+             |---:|---:|---:|---:|---|---:|---|\n\
+             | {} | {} | {} | {} | {} | {:.2} | yes |\n",
+            recovery.burst_acked,
+            recovery.recovered_total,
+            recovery.wal_records,
+            recovery.snapshot_sigs,
+            if recovery.torn_tail { "yes" } else { "no" },
+            recovery.recovery_ms,
+        ));
         #[cfg(unix)]
         {
             let s = &client_reactor;

@@ -15,8 +15,9 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
+use crate::connect::Connect;
 use crate::repo::LocalRepository;
-use crate::sync::{sync_delta, sync_once, Connector};
+use crate::sync::{sync_delta, sync_once, Connector, SyncError};
 
 /// Statistics of a running daemon.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,6 +29,10 @@ pub struct DaemonStats {
     /// Rounds that failed (server unreachable etc.); the daemon retries
     /// on the next period.
     pub failures: u64,
+    /// Sessions dialed by a [`ClientDaemon::spawn_connect`] daemon —
+    /// `1` for the initial dial, more after transport failures forced a
+    /// redial. Always `0` for daemons given a fixed connector.
+    pub reconnects: u64,
 }
 
 /// A background thread that periodically syncs a repository.
@@ -70,6 +75,69 @@ impl ClientDaemon {
         C: Connector + Send + 'static,
     {
         Self::spawn_impl(connector, repo, period, Some(window))
+    }
+
+    /// Like [`ClientDaemon::spawn_batched`], but given a session
+    /// *factory* instead of one live connector: the daemon dials through
+    /// `connect` on first use and redials on the next round whenever a
+    /// sync fails with a transport error — which is exactly what a
+    /// durable-server restart looks like from here (dead connection,
+    /// recovered store). Failed rounds count in
+    /// [`DaemonStats::failures`]; successful dials in
+    /// [`DaemonStats::reconnects`].
+    pub fn spawn_connect<K>(
+        connect: K,
+        repo: Arc<Mutex<LocalRepository>>,
+        period: Duration,
+        window: u32,
+    ) -> ClientDaemon
+    where
+        K: Connect + Send + 'static,
+    {
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let stats = Arc::new(Mutex::new(DaemonStats::default()));
+        let stats2 = stats.clone();
+        let handle = std::thread::spawn(move || {
+            let mut session: Option<K::Session> = None;
+            loop {
+                {
+                    let mut repo = repo.lock();
+                    let mut stats = stats2.lock();
+                    stats.rounds += 1;
+                    if session.is_none() {
+                        match connect.connect() {
+                            Ok(s) => {
+                                session = Some(s);
+                                stats.reconnects += 1;
+                            }
+                            Err(_) => stats.failures += 1,
+                        }
+                    }
+                    if let Some(s) = session.as_mut() {
+                        match sync_delta(s, &mut repo, window) {
+                            Ok(n) => stats.downloaded += n as u64,
+                            Err(e) => {
+                                stats.failures += 1;
+                                if matches!(e, SyncError::Transport(_)) {
+                                    // Dead socket: drop it and redial on
+                                    // the next round.
+                                    session = None;
+                                }
+                            }
+                        }
+                    }
+                }
+                match stop_rx.recv_timeout(period) {
+                    Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                }
+            }
+        });
+        ClientDaemon {
+            stop: stop_tx,
+            handle: Some(handle),
+            stats,
+        }
     }
 
     fn spawn_impl<C>(
@@ -222,6 +290,69 @@ mod tests {
         assert_eq!(stats.failures, 0);
         assert_eq!(stats.downloaded, 2 * stats.rounds);
         assert_eq!(repo.lock().len() as u64, stats.downloaded);
+    }
+
+    #[test]
+    fn connect_daemon_redials_after_transport_failures() {
+        // Session k fails its (k+1)-th call with a transport error; the
+        // daemon must dial a fresh session and keep downloading.
+        let dials = Arc::new(AtomicU64::new(0));
+        let dials2 = dials.clone();
+        let connect = move || {
+            let dial = dials2.fetch_add(1, Ordering::SeqCst);
+            let mut calls_left = dial + 1;
+            Ok(move |req: Request| -> Result<Reply, String> {
+                if calls_left == 0 {
+                    return Err("connection reset".into());
+                }
+                calls_left -= 1;
+                match req {
+                    Request::GetDelta { from, .. } => Ok(Reply::Delta {
+                        from,
+                        total: from + 1,
+                        sigs: vec![format!("sig-{from}")],
+                    }),
+                    other => Err(format!("unexpected {other:?}")),
+                }
+            })
+        };
+        let repo = Arc::new(Mutex::new(LocalRepository::in_memory()));
+        let mut daemon =
+            ClientDaemon::spawn_connect(connect, repo.clone(), Duration::from_millis(5), 0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while dials.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        daemon.shutdown();
+        let stats = daemon.stats();
+        assert!(stats.reconnects >= 3, "reconnects={}", stats.reconnects);
+        assert!(stats.failures >= 2, "failures={}", stats.failures);
+        assert!(stats.downloaded >= 2, "downloaded={}", stats.downloaded);
+        assert_eq!(repo.lock().len() as u64, stats.downloaded);
+    }
+
+    /// The session type a dial would yield, were it ever to succeed.
+    type NeverSession = fn(Request) -> Result<Reply, String>;
+
+    #[test]
+    fn connect_daemon_survives_failed_dials() {
+        let attempts = Arc::new(AtomicU64::new(0));
+        let attempts2 = attempts.clone();
+        let connect = move || -> Result<NeverSession, SyncError> {
+            attempts2.fetch_add(1, Ordering::SeqCst);
+            Err(SyncError::Transport("connection refused".into()))
+        };
+        let repo = Arc::new(Mutex::new(LocalRepository::in_memory()));
+        let mut daemon = ClientDaemon::spawn_connect(connect, repo, Duration::from_millis(5), 0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while attempts.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        daemon.shutdown();
+        let stats = daemon.stats();
+        assert_eq!(stats.reconnects, 0);
+        assert!(stats.failures >= 3);
+        assert_eq!(stats.downloaded, 0);
     }
 
     #[test]

@@ -14,10 +14,18 @@
 //! reactor: one thread drives M pipelined connections over one shared
 //! readiness poller, and [`MultiClient`] adapts a pool back into a
 //! [`Connector`] (calls rotate round-robin across the members).
+//!
+//! All three flavors share the [`Connect`] session-factory trait:
+//! [`TcpConnect`], [`PipelinedConnect`], and [`MultiConnect`] each dial
+//! a fresh session on demand, so a daemon spawned with
+//! [`ClientDaemon::spawn_connect`] redials after a server restart and
+//! resumes syncing against the recovered durable store (the epoch-aware
+//! [`sync_delta`] handles a compacted, renumbered server log).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod connect;
 mod daemon;
 #[cfg(unix)]
 mod pipeline;
@@ -26,6 +34,9 @@ mod reactor;
 mod repo;
 mod sync;
 
+pub use connect::{Connect, TcpConnect};
+#[cfg(unix)]
+pub use connect::{MultiConnect, PipelinedConnect};
 pub use daemon::{ClientDaemon, DaemonStats};
 #[cfg(unix)]
 pub use pipeline::{

@@ -27,6 +27,12 @@ pub struct LocalRepository {
     /// Indices that passed hash validation but failed the nesting check —
     /// candidates for re-checking after new classes load.
     nesting_retry: BTreeSet<usize>,
+    /// Server-side index the next incremental sync asks from. `None`
+    /// means "same as `len()`" — the invariant before store epochs
+    /// existed, and still the steady state. The two diverge only after
+    /// an epoch resync ([`LocalRepository::merge`] drops duplicates, so
+    /// the local count falls behind the server index).
+    server_cursor: Option<usize>,
 }
 
 impl LocalRepository {
@@ -76,6 +82,10 @@ impl LocalRepository {
                         self.nesting_retry.insert(i);
                     }
                 }
+            } else if let Some(v) = line.strip_prefix("server_cursor ") {
+                if let Ok(n) = v.trim().parse() {
+                    self.server_cursor = Some(n);
+                }
             }
         }
     }
@@ -104,6 +114,59 @@ impl LocalRepository {
     pub fn append(&mut self, sigs: impl IntoIterator<Item = String>) -> io::Result<usize> {
         let before = self.sigs.len();
         self.sigs.extend(sigs);
+        let added = self.sigs.len() - before;
+        if added > 0 {
+            self.persist()?;
+        }
+        Ok(added)
+    }
+
+    /// The server-side index the next incremental sync should request
+    /// from. Equal to [`len`](LocalRepository::len) until an epoch
+    /// resync diverges them (see [`LocalRepository::set_sync_cursor`]).
+    pub fn sync_cursor(&self) -> usize {
+        self.server_cursor.unwrap_or(self.sigs.len())
+    }
+
+    /// Records how far into the *server's* log this repository has
+    /// synced. [`sync_delta`](crate::sync::sync_delta) advances this as
+    /// windows land; after a store epoch switch (the server compacted
+    /// and renumbered) the cursor tracks the new epoch's indices while
+    /// [`len`](LocalRepository::len) keeps counting locally stored
+    /// signatures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures when disk-backed.
+    pub fn set_sync_cursor(&mut self, cursor: usize) -> io::Result<()> {
+        if self.server_cursor == Some(cursor)
+            || (self.server_cursor.is_none() && cursor == self.sigs.len())
+        {
+            return Ok(());
+        }
+        self.server_cursor = Some(cursor);
+        self.persist_state()
+    }
+
+    /// Appends only the signatures not already present — the epoch-resync
+    /// counterpart of [`append`](LocalRepository::append). When the
+    /// server's store switches epochs (compaction renumbered its log),
+    /// the client re-reads from index 0; signatures it already holds are
+    /// skipped so agent cursors and nesting-retry indices stay valid.
+    ///
+    /// Returns the number of genuinely new signatures stored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures when disk-backed.
+    pub fn merge(&mut self, sigs: impl IntoIterator<Item = String>) -> io::Result<usize> {
+        let mut seen: std::collections::HashSet<String> = self.sigs.iter().cloned().collect();
+        let before = self.sigs.len();
+        for s in sigs {
+            if seen.insert(s.clone()) {
+                self.sigs.push(s);
+            }
+        }
         let added = self.sigs.len() - before;
         if added > 0 {
             self.persist()?;
@@ -187,6 +250,9 @@ impl LocalRepository {
             return Ok(());
         };
         let mut text = format!("cursor {}\n", self.agent_cursor);
+        if let Some(c) = self.server_cursor {
+            text.push_str(&format!("server_cursor {c}\n"));
+        }
         if !self.nesting_retry.is_empty() {
             text.push_str("retry");
             for i in &self.nesting_retry {
@@ -305,6 +371,47 @@ mod tests {
         let r = LocalRepository::open(&dir).unwrap();
         assert_eq!(r.uninspected_count(), 0); // cursor clamped to len=0
         assert!(r.nesting_retry_indices().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_skips_duplicates_and_keeps_indices_stable() {
+        let mut r = LocalRepository::in_memory();
+        r.append([sig_text(1), sig_text(2)]).unwrap();
+        r.mark_inspected().unwrap();
+        // Epoch resync replays an overlapping window: one dup, one new.
+        let added = r.merge([sig_text(2), sig_text(3)]).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.sig(2), Some(sig_text(3).as_str()));
+        // Existing signatures kept their indices: the agent cursor is
+        // still valid and only the merged-in newcomer awaits inspection.
+        let idx: Vec<usize> = r.uninspected().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![2]);
+    }
+
+    #[test]
+    fn sync_cursor_defaults_to_len_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "communix-repo-cursor-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut r = LocalRepository::open(&dir).unwrap();
+            r.append([sig_text(1), sig_text(2)]).unwrap();
+            assert_eq!(r.sync_cursor(), 2, "tracks len until told otherwise");
+            // Server compacted down to one signature; we re-synced it.
+            r.set_sync_cursor(1).unwrap();
+            assert_eq!(r.sync_cursor(), 1);
+            assert_eq!(r.len(), 2, "local store unaffected");
+        }
+        {
+            let r = LocalRepository::open(&dir).unwrap();
+            assert_eq!(r.len(), 2);
+            assert_eq!(r.sync_cursor(), 1, "cursor persisted in state.txt");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

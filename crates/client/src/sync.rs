@@ -131,6 +131,24 @@ pub fn upload_signature(
 /// windows only when the server capped the reply. `max_per_round == 0`
 /// defers the window size entirely to the server.
 ///
+/// # Store epochs
+///
+/// A durable server compacts its log under a byte cap; when eviction
+/// renumbers the log the server bumps its *store epoch* and `total`
+/// drops below the index the client asks from. That `total < from`
+/// shrink is the (wire-compatible) epoch signal — reliable for clients
+/// that sync to completion, since the GC always evicts at least one
+/// signature and the post-GC total therefore lands strictly below
+/// every fully-synced cursor. The client restarts
+/// from index 0 once, merging replayed windows through
+/// [`LocalRepository::merge`] so signatures it already holds keep their
+/// local indices and only genuine newcomers are stored. The repository's
+/// [`sync_cursor`](LocalRepository::sync_cursor) tracks the server-side
+/// index across syncs, so a post-epoch repository (which may hold more
+/// signatures than the server now serves) does not re-read the world on
+/// every sync. A second shrink within one sync is reported as a protocol
+/// error rather than looped on.
+///
 /// Returns the number of new signatures stored.
 ///
 /// # Errors
@@ -144,8 +162,9 @@ pub fn sync_delta(
     max_per_round: u32,
 ) -> Result<usize, SyncError> {
     let mut downloaded = 0;
+    let mut from = repo.sync_cursor() as u64;
+    let mut epoch_restart = false;
     loop {
-        let from = repo.len() as u64;
         let reply = connector
             .call(Request::GetDelta {
                 from,
@@ -163,15 +182,35 @@ pub fn sync_delta(
                         "asked for delta from index {from}, server answered from {got_from}"
                     )));
                 }
+                if total < from {
+                    // The server's log shrank below our cursor: its
+                    // store switched epochs (compaction evicted and
+                    // renumbered). Re-read the new epoch from scratch,
+                    // deduplicating as we go.
+                    if epoch_restart {
+                        return Err(SyncError::Protocol(format!(
+                            "server total shrank twice in one sync (now {total} < {from})"
+                        )));
+                    }
+                    epoch_restart = true;
+                    from = 0;
+                    continue;
+                }
                 if from + sigs.len() as u64 > total {
                     return Err(SyncError::Protocol(format!(
                         "delta overruns the server's own total: {from} + {} > {total}",
                         sigs.len()
                     )));
                 }
-                let got = sigs.len();
-                downloaded += repo.append(sigs)?;
-                if repo.len() as u64 >= total {
+                let got = sigs.len() as u64;
+                downloaded += if epoch_restart {
+                    repo.merge(sigs)?
+                } else {
+                    repo.append(sigs)?
+                };
+                from += got;
+                repo.set_sync_cursor(from as usize)?;
+                if from >= total {
                     return Ok(downloaded);
                 }
                 if got == 0 {
@@ -444,6 +483,134 @@ mod tests {
             sync_delta(&mut conn, &mut repo, 0),
             Err(SyncError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn sync_delta_restarts_once_on_epoch_shrink() {
+        // The client synced 4 signatures, then the server GC'd down to a
+        // 2-signature log (new epoch): one survivor the client already
+        // holds, one genuinely new.
+        let mut repo = LocalRepository::in_memory();
+        repo.append(["a".into(), "b".into(), "c".into(), "d".into()])
+            .unwrap();
+        let epoch: Vec<String> = vec!["c".into(), "new".into()];
+        let mut asked = Vec::new();
+        let mut conn = |req: Request| -> Result<Reply, String> {
+            match req {
+                Request::GetDelta { from, .. } => {
+                    asked.push(from);
+                    let start = (from as usize).min(epoch.len());
+                    Ok(Reply::Delta {
+                        from,
+                        total: epoch.len() as u64,
+                        sigs: epoch[start..].to_vec(),
+                    })
+                }
+                other => Err(format!("unexpected {other:?}")),
+            }
+        };
+        let n = sync_delta(&mut conn, &mut repo, 0).unwrap();
+        assert_eq!(asked, vec![4, 0], "shrink at 4, then restart from 0");
+        assert_eq!(n, 1, "only the genuinely new signature counts");
+        assert_eq!(repo.len(), 5, "merge kept local copies and indices");
+        assert_eq!(repo.sig(4), Some("new"));
+        assert_eq!(
+            repo.sync_cursor(),
+            2,
+            "cursor now tracks the new epoch's log, not local len"
+        );
+        // The next sync resumes from the epoch cursor — no second
+        // restart, no re-reading the world.
+        let mut conn2 = |req: Request| -> Result<Reply, String> {
+            match req {
+                Request::GetDelta { from, .. } => {
+                    assert_eq!(from, 2);
+                    Ok(Reply::Delta {
+                        from,
+                        total: 2,
+                        sigs: vec![],
+                    })
+                }
+                other => Err(format!("unexpected {other:?}")),
+            }
+        };
+        assert_eq!(sync_delta(&mut conn2, &mut repo, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn sync_delta_one_shrink_per_sync_converges() {
+        let mut repo = LocalRepository::in_memory();
+        repo.append(["a".into(), "b".into()]).unwrap();
+        // One epoch switch per sync is the expected shape; each sync
+        // resolves its shrink with a single restart and converges.
+        let mut conn = Script(vec![
+            Reply::Delta {
+                from: 2,
+                total: 1,
+                sigs: vec![],
+            },
+            Reply::Delta {
+                from: 0,
+                total: 1,
+                sigs: vec!["x".into()],
+            },
+        ]);
+        // First shrink (1 < 2) restarts from 0; the replayed epoch is
+        // consumed normally.
+        assert_eq!(sync_delta(&mut conn, &mut repo, 0).unwrap(), 1);
+        assert_eq!(repo.sync_cursor(), 1);
+        // A later sync that finds the server shrunk to empty restarts
+        // and finishes cleanly with nothing to fetch.
+        let mut conn = Script(vec![
+            Reply::Delta {
+                from: 1,
+                total: 0,
+                sigs: vec![],
+            },
+            Reply::Delta {
+                from: 0,
+                total: 0,
+                sigs: vec![],
+            },
+        ]);
+        // total 0 < from 1 → restart; from 0, total 0 → clean empty sync.
+        assert_eq!(sync_delta(&mut conn, &mut repo, 0).unwrap(), 0);
+        assert_eq!(repo.sync_cursor(), 0);
+    }
+
+    #[test]
+    fn sync_delta_double_shrink_is_protocol_error() {
+        let mut repo = LocalRepository::in_memory();
+        repo.set_sync_cursor(5).unwrap();
+        // Shrink at 5 → restart at 0; mid-replay the total shrinks
+        // *again* below the advancing cursor (epoch churn). The client
+        // must bail instead of restarting forever.
+        let mut conn = Script(vec![
+            Reply::Delta {
+                from: 5,
+                total: 2,
+                sigs: vec![],
+            },
+            Reply::Delta {
+                from: 0,
+                total: 5,
+                sigs: vec!["x".into(), "y".into(), "z".into()],
+            },
+            Reply::Delta {
+                from: 3,
+                total: 2,
+                sigs: vec![],
+            },
+        ]);
+        let err = sync_delta(&mut conn, &mut repo, 0).unwrap_err();
+        assert!(
+            matches!(&err, SyncError::Protocol(m) if m.contains("shrank twice")),
+            "got {err}"
+        );
+        // The fully received replay window was kept (crash-only design:
+        // progress survives, only the tail is lost).
+        assert_eq!(repo.len(), 3);
+        assert_eq!(repo.sync_cursor(), 3);
     }
 
     #[test]

@@ -52,6 +52,7 @@ use parking_lot::Mutex;
 
 use crate::auth::IdAuthority;
 use crate::db::SignatureDb;
+use crate::store::{DurabilityConfig, Store};
 
 /// Why an ADD was rejected (mirrored into the wire reply's reason text).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -241,7 +242,7 @@ struct UserState {
 #[derive(Debug)]
 pub struct CommunixServer {
     config: ServerConfig,
-    db: SignatureDb,
+    store: Store,
     authority: IdAuthority,
     /// Per-user validation state, sharded by user id (index `user %
     /// users.len()`) so concurrent senders rarely share a mutex.
@@ -266,16 +267,40 @@ impl CommunixServer {
         clock: Arc<dyn Clock>,
         registry: Arc<Registry>,
     ) -> Self {
-        let db = if config.db_shards == 0 {
-            SignatureDb::single_lock()
-        } else {
-            SignatureDb::with_shards(config.db_shards)
-        };
+        let store = Store::in_memory_with(config.db_shards, &registry);
+        Self::with_store(config, clock, registry, store)
+    }
+
+    /// Creates a server whose signature store journals to disk: the
+    /// store is recovered (snapshot, then WAL tail) from
+    /// `durability.dir` before the server accepts its first request.
+    /// See [`Store::open`] for the on-disk layout and
+    /// [`CommunixServer::store`]`().recovery()` for what was found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store-recovery I/O failures.
+    pub fn open_durable(
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        clock: Arc<dyn Clock>,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<Self> {
+        let store = Store::open(config.db_shards, durability, &registry)?;
+        Ok(Self::with_store(config, clock, registry, store))
+    }
+
+    fn with_store(
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        registry: Arc<Registry>,
+        store: Store,
+    ) -> Self {
         let user_shards = config.db_shards.max(1);
         let metrics = ServerMetrics::resolve(&registry);
         CommunixServer {
             config,
-            db,
+            store,
             authority: IdAuthority::default(),
             users: (0..user_shards)
                 .map(|_| Mutex::new(HashMap::new()))
@@ -292,9 +317,17 @@ impl CommunixServer {
         &self.authority
     }
 
-    /// The signature database.
-    pub fn db(&self) -> &SignatureDb {
-        &self.db
+    /// The current in-memory signature database. The returned `Arc`
+    /// pins one epoch: it stays readable across a concurrent GC swap
+    /// (which installs a fresh database under the store).
+    pub fn db(&self) -> Arc<SignatureDb> {
+        self.store.db()
+    }
+
+    /// The unified signature store — durability state (epoch, recovery
+    /// report, explicit `sync`/`snapshot`) lives here.
+    pub fn store(&self) -> &Store {
+        &self.store
     }
 
     /// Counter snapshot (a view over the telemetry registry).
@@ -323,17 +356,19 @@ impl CommunixServer {
     /// are refreshed from the database here, at snapshot time, rather
     /// than maintained on the hot path.
     pub fn telemetry_snapshot(&self) -> Snapshot {
-        for (i, s) in self.db.shard_stats().iter().enumerate() {
+        let db = self.store.db();
+        for (i, s) in db.shard_stats().iter().enumerate() {
             self.registry
                 .gauge(&format!("server.shard.{i}.sigs"))
                 .set(s.sigs as u64);
         }
-        self.registry
-            .gauge("server.db.sigs")
-            .set(self.db.len() as u64);
+        self.registry.gauge("server.db.sigs").set(db.len() as u64);
         self.registry
             .gauge("server.db.bytes")
-            .set(self.db.stored_bytes() as u64);
+            .set(db.stored_bytes() as u64);
+        self.registry
+            .gauge("server.db.epoch")
+            .set(self.store.epoch());
         self.registry.snapshot()
     }
 
@@ -404,7 +439,7 @@ impl CommunixServer {
         };
 
         // Dedup fast path (read locks only).
-        if self.db.contains(sig_text).is_some() {
+        if self.store.contains(sig_text).is_some() {
             self.metrics.dedup_fast_path.inc();
             return AddDecision::Duplicate;
         }
@@ -438,7 +473,7 @@ impl CommunixServer {
             return AddDecision::Rejected(RejectReason::Adjacent);
         }
 
-        let (_, added) = self.db.add(sig_text);
+        let (_, added) = self.store.add(sig_text);
         if added {
             state.accepted.push(sig);
             AddDecision::Accepted
@@ -473,7 +508,7 @@ impl CommunixServer {
     }
 
     fn handle_get(&self, from: u64) -> Reply {
-        let sigs = self.db.get_from(from as usize);
+        let sigs = self.store.get_from(from as usize);
         self.metrics.gets.inc();
         self.metrics.sigs_served.add(sigs.len() as u64);
         Reply::Sigs { from, sigs }
@@ -485,7 +520,7 @@ impl CommunixServer {
         } else {
             (max as usize).min(self.config.delta_window)
         };
-        let (sigs, total) = self.db.delta(from as usize, window);
+        let (sigs, total) = self.store.delta(from as usize, window);
         self.metrics.deltas.inc();
         self.metrics.sigs_served.add(sigs.len() as u64);
         Reply::Delta {
@@ -503,7 +538,7 @@ impl CommunixServer {
     /// runs over the global append log, so its totals match what the
     /// per-shard [`SignatureDb::shard_stats`] counters sum to.
     pub fn handle_get_scan(&self, from: u64) -> (usize, usize) {
-        let r = self.db.scan_from(from as usize);
+        let r = self.store.scan_from(from as usize);
         self.metrics.gets.inc();
         self.metrics.sigs_served.add(r.0 as u64);
         r

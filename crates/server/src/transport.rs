@@ -1,37 +1,29 @@
-//! Serving a [`CommunixServer`] over TCP.
+//! Legacy TCP entry points, kept as thin shims over the builder.
 //!
-//! The paper's deployment model is one central server carrying the whole
-//! immunity network, so the default transport is the event-driven C10K
-//! loop from `communix-net` ([`serve`]); the thread-per-connection
-//! baseline stays available as [`serve_threaded`] for comparison runs.
+//! These free functions predate [`crate::builder`]; new code should use
+//! the builder (`communix_server::builder().serve(addr)`), which folds
+//! transport choice, reactor count, durability, and telemetry into one
+//! chainable API. Each shim below is one `builder()` expression —
+//! they exist so existing callers and tests compile unchanged, and are
+//! documented-deprecated rather than `#[deprecated]` so in-repo callers
+//! stay warning-free under `-D warnings`.
 //!
-//! Every `serve*` entry point hands the server's telemetry registry to
-//! the transport (unless the caller already set
-//! [`TcpServerConfig::registry`]), so a `STATS` request answered by the
-//! server also carries the transport's connection gauges and counters.
+//! Every entry point hands the server's telemetry registry to the
+//! transport (unless the caller already set [`TcpServerConfig::registry`]),
+//! so a `STATS` request answered by the server also carries the
+//! transport's connection gauges and counters.
 
 use std::io;
 use std::sync::Arc;
 
-use communix_net::{Handler, TcpServer, TcpServerConfig};
+use communix_net::{TcpServer, TcpServerConfig};
 
 use crate::CommunixServer;
 
-fn handler(server: Arc<CommunixServer>) -> Handler {
-    Arc::new(move |req| server.handle(req))
-}
-
-/// Defaults the transport's registry to the server's own, so both
-/// layers show up in one snapshot.
-fn share_registry(server: &CommunixServer, mut config: TcpServerConfig) -> TcpServerConfig {
-    if config.registry.is_none() {
-        config.registry = Some(server.telemetry().clone());
-    }
-    config
-}
-
 /// Serves `server` on `addr` (port 0 for ephemeral) over the default
 /// transport — the event-driven readiness loop.
+///
+/// *Superseded by* [`crate::builder`]: `builder().serve(addr)`.
 ///
 /// # Errors
 ///
@@ -52,11 +44,13 @@ fn share_registry(server: &CommunixServer, mut config: TcpServerConfig) -> TcpSe
 /// println!("listening on {} via {}", tcp.addr(), tcp.transport());
 /// ```
 pub fn serve(addr: &str, server: Arc<CommunixServer>) -> io::Result<TcpServer> {
-    serve_with(addr, server, TcpServerConfig::default())
+    Ok(crate::builder().attach(server).serve(addr)?.1)
 }
 
 /// [`serve`] with explicit transport tunables (idle timeout, poller
 /// backend, reactor shard count).
+///
+/// *Superseded by* [`crate::builder`]: `builder().tcp_config(config)`.
 ///
 /// # Errors
 ///
@@ -66,8 +60,11 @@ pub fn serve_with(
     server: Arc<CommunixServer>,
     config: TcpServerConfig,
 ) -> io::Result<TcpServer> {
-    let config = share_registry(&server, config);
-    TcpServer::bind_with(addr, handler(server), config)
+    Ok(crate::builder()
+        .attach(server)
+        .tcp_config(config)
+        .serve(addr)?
+        .1)
 }
 
 /// [`serve`] with an explicit reactor shard count: the event transport
@@ -77,6 +74,8 @@ pub fn serve_with(
 /// aggregate `transport.*` series plus per-shard
 /// `transport.reactor.<i>.*` gauges and counters.
 ///
+/// *Superseded by* [`crate::builder`]: `builder().reactors(n)`.
+///
 /// # Errors
 ///
 /// Propagates bind failures.
@@ -85,17 +84,16 @@ pub fn serve_reactors(
     server: Arc<CommunixServer>,
     reactors: usize,
 ) -> io::Result<TcpServer> {
-    serve_with(
-        addr,
-        server,
-        TcpServerConfig {
-            reactors,
-            ..TcpServerConfig::default()
-        },
-    )
+    Ok(crate::builder()
+        .attach(server)
+        .reactors(reactors)
+        .serve(addr)?
+        .1)
 }
 
 /// Serves over the thread-per-connection baseline transport.
+///
+/// *Superseded by* [`crate::builder`]: `builder().threaded()`.
 ///
 /// # Errors
 ///
@@ -105,8 +103,12 @@ pub fn serve_threaded(
     server: Arc<CommunixServer>,
     config: TcpServerConfig,
 ) -> io::Result<TcpServer> {
-    let config = share_registry(&server, config);
-    TcpServer::threaded_with(addr, handler(server), config)
+    Ok(crate::builder()
+        .attach(server)
+        .threaded()
+        .tcp_config(config)
+        .serve(addr)?
+        .1)
 }
 
 #[cfg(test)]
